@@ -1,0 +1,60 @@
+"""Shared fixtures for the experiment-regeneration benchmarks.
+
+Every benchmark writes its regenerated table/figure to
+``benchmarks/out/<name>.txt`` (and prints it), so the paper artifacts
+can be inspected after a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture
+def record(results_dir, request):
+    """Callable writing a rendered artifact to disk and stdout."""
+
+    def _record(name: str, text: str):
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[written to {path}]")
+        return path
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def pincheck_wl():
+    from repro.workloads import pincheck
+    return pincheck.workload()
+
+
+@pytest.fixture(scope="session")
+def bootloader_wl():
+    from repro.workloads import bootloader
+    return bootloader.workload()
+
+
+@pytest.fixture(scope="session")
+def rich_pincheck_wl():
+    from repro.workloads import pincheck
+    return pincheck.workload(rich=True)
+
+
+@pytest.fixture(scope="session")
+def rich_bootloader_wl():
+    from repro.workloads import bootloader
+    return bootloader.workload(rich=True)
+
+
+def once(benchmark, fn):
+    """Run a heavy experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

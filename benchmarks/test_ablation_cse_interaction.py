@@ -1,0 +1,111 @@
+"""Ablation A4 — optimizer vs countermeasure interaction.
+
+The hardening pass introduces *intentional* redundancy; an optimizing
+compiler that merges equal expressions silently removes it (which is
+why the paper's LLVM pass must sit late and keep its duplicates
+volatile).  This bench demonstrates the collapse: CSE ignoring the
+volatile markers merges the duplicated checksums, and the faulter finds
+successful skip faults again.
+"""
+
+from conftest import once
+
+from repro.asm import assemble
+from repro.faulter import Faulter
+from repro.hybrid import harden_branches
+from repro.ir.passes import cse, dce, instruction_histogram
+from repro.ir.passes.pass_manager import standard_cleanup
+from repro.lift import Lifter
+from repro.lower.pipeline import lower_module
+
+PROGRAM = """
+.text
+.global _start
+_start:
+    xor rax, rax
+    xor rdi, rdi
+    lea rsi, [rel buf]
+    mov rdx, 8
+    syscall
+    mov rbx, qword ptr [buf]
+    cmp rbx, 42
+    jne deny
+    mov rax, 1            # the privileged path prints the marker
+    mov rdi, 1
+    lea rsi, [rel msg]
+    mov rdx, 3
+    syscall
+    mov rax, 60
+    xor rdi, rdi
+    syscall
+deny:                     # last block: a derailed exit falls off the
+    mov rax, 60           # end of the program instead of into the
+    mov rdi, 1            # privileged block above
+    syscall
+.data
+msg: .ascii "OK\\n"
+.bss
+buf: .zero 8
+"""
+
+GOOD = (42).to_bytes(8, "little")
+BAD = (7).to_bytes(8, "little")
+MARKER = b"OK"
+
+
+def _build(respect_volatile: bool):
+    exe = assemble(PROGRAM)
+    ir = Lifter(exe).lift()
+    standard_cleanup().run(ir)
+    fn = ir.function("entry")
+    harden_branches(ir)
+    before = instruction_histogram(fn)
+    cse(fn, respect_no_merge=respect_volatile)
+    dce(fn)
+    after = instruction_histogram(fn)
+    hardened = lower_module(ir, exe, trap_after_jmp=True)
+    return exe, hardened, before, after
+
+
+def _skip_successes(exe, hardened):
+    faulter = Faulter(hardened, GOOD, BAD, MARKER, name="cse-ablation")
+    report = faulter.run_campaign("skip")
+    return report.outcomes.get("success", 0)
+
+
+def test_cse_interaction(benchmark, record):
+    results = once(benchmark, lambda: {
+        "volatile respected": _build(True),
+        "volatile ignored": _build(False),
+    })
+
+    lines = [
+        "ABLATION A4: CSE vs the duplicated-checksum countermeasure",
+        "",
+        "  configuration        xor  and  or  icmp   successful skips",
+        "  ------------------   ---  ---  --  ----   ----------------",
+    ]
+    successes = {}
+    for label, (exe, hardened, before, after) in results.items():
+        count = _skip_successes(exe, hardened)
+        successes[label] = count
+        lines.append(
+            f"  {label:<18}   {after.get('xor', 0):>3}  "
+            f"{after.get('and', 0):>3}  {after.get('or', 0):>2}  "
+            f"{after.get('icmp', 0):>4}   {count:>16}")
+    lines.append("")
+    lines.append("  merging the duplicates halves the checksum "
+                 "arithmetic and re-creates a single")
+    lines.append("  point of failure; the volatile markers keep the "
+                 "redundancy (and the protection).")
+    record("ablation_cse_interaction", "\n".join(lines))
+
+    safe = results["volatile respected"]
+    unsafe = results["volatile ignored"]
+    # structural collapse: the unsafe variant merged the duplicates
+    assert unsafe[3]["xor"] < safe[3]["xor"]
+    assert unsafe[3]["and"] < safe[3]["and"]
+    # protection collapse: the hardened-but-merged binary is vulnerable
+    # again, while the volatile-respecting one stays clean
+    assert successes["volatile respected"] == 0
+    assert successes["volatile ignored"] > 0

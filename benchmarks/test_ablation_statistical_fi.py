@@ -1,0 +1,54 @@
+"""Ablation A5 — statistical fault injection (cited methodology).
+
+The paper's related work leans on Leveugle et al. (DATE 2009) for
+sampling fault spaces with quantified error.  This bench runs the
+exhaustive single-bit-flip campaign as ground truth and compares the
+Leveugle-sized sample estimate: the confidence interval must cover the
+true success rate at a fraction of the injections.
+"""
+
+from conftest import once
+
+from repro.faulter import Faulter
+from repro.faulter.statistical import (
+    estimate_vulnerability, required_samples)
+
+
+def _experiment(wl):
+    faulter = Faulter(wl.build(), wl.good_input, wl.bad_input,
+                      wl.grant_marker, name=wl.name)
+    exhaustive = faulter.run_campaign("bitflip")
+    estimate = estimate_vulnerability(faulter, "bitflip",
+                                      margin=0.01, seed=2024)
+    return exhaustive, estimate
+
+
+def test_statistical_fi(benchmark, record, bootloader_wl):
+    exhaustive, estimate = once(benchmark,
+                                lambda: _experiment(bootloader_wl))
+    truth = exhaustive.outcomes["success"] / exhaustive.total_faults
+    low, high = estimate.interval
+
+    lines = [
+        "ABLATION A5: statistical vs exhaustive fault injection "
+        f"({bootloader_wl.name}, single bit flip)",
+        "",
+        f"  fault population     : {estimate.population}",
+        f"  exhaustive campaign  : {exhaustive.total_faults} "
+        f"injections, success rate {100 * truth:.3f}%",
+        f"  sampled campaign     : {estimate.samples} injections "
+        f"({100 * estimate.samples / estimate.population:.0f}% of the "
+        "space)",
+        f"  estimate             : {estimate.summary()}",
+        "",
+        f"  ground truth {'INSIDE' if low <= truth <= high else 'OUTSIDE'}"
+        f" the {100 * estimate.confidence:.0f}% interval",
+    ]
+    record("ablation_statistical_fi", "\n".join(lines))
+
+    assert estimate.population == exhaustive.total_faults
+    assert estimate.samples < exhaustive.total_faults
+    assert low <= truth <= high
+    # the Leveugle sizing must not degenerate
+    assert estimate.samples >= required_samples(
+        estimate.population, 0.02, 0.95)

@@ -1,0 +1,116 @@
+"""Table IV — qualitative overhead of conditional branch hardening.
+
+Regenerates the per-branch instruction census at both levels (IR and
+x86-64), before vs after the hardening pass, on a minimal one-branch
+program — the same setting the paper tabulates.
+
+Paper reference (added instructions per protected branch):
+  LLVM-IR : 1 cmp, 2 zext, 2 sub, 6 xor, 2 or, 4 and, 1 br, 4 switch
+  x86-64  : 2 cmp, 6 mov, 2 sub, 6 xor, 2 or, 6 and, 2 test,
+            4 jx, 5 jmp
+"""
+
+from collections import Counter
+
+from conftest import once
+
+from repro.asm import assemble
+from repro.hybrid import harden_branches
+from repro.ir.passes import instruction_histogram
+from repro.ir.passes.pass_manager import standard_cleanup
+from repro.isa.decoder import decode_all
+from repro.lift import Lifter
+from repro.lower.pipeline import lower_module
+
+ONE_BRANCH = """
+.text
+.global _start
+_start:
+    xor rax, rax
+    xor rdi, rdi
+    lea rsi, [rel buf]
+    mov rdx, 8
+    syscall
+    mov rbx, qword ptr [buf]
+    cmp rbx, 42
+    je other
+    mov rdi, 1
+    mov rax, 60
+    syscall
+other:
+    mov rdi, 2
+    mov rax, 60
+    syscall
+.bss
+buf: .zero 8
+"""
+
+PAPER_IR = {"icmp": 1, "zext": 2, "sub": 2, "xor": 6, "or": 2,
+            "and": 4, "br": 1, "switch": 4}
+
+
+def _x86_histogram(exe) -> Counter:
+    text = exe.section(".text")
+    histogram = Counter()
+    for insn in decode_all(text.data, text.addr):
+        histogram[insn.name] += 1
+    return histogram
+
+
+def _run_experiment():
+    exe = assemble(ONE_BRANCH)
+    ir = Lifter(exe).lift()
+    standard_cleanup().run(ir)
+    fn = ir.function("entry")
+    ir_before = instruction_histogram(fn)
+    x86_before = _x86_histogram(lower_module(ir, exe))
+    stats = harden_branches(ir)
+    ir_after = instruction_histogram(fn)
+    x86_after = _x86_histogram(lower_module(ir, exe))
+    return exe, stats, ir_before, ir_after, x86_before, x86_after
+
+
+def test_table4(benchmark, record):
+    (exe, stats, ir_before, ir_after,
+     x86_before, x86_after) = once(benchmark, _run_experiment)
+    assert stats.branches_hardened == 1
+
+    ir_delta = Counter({k: ir_after[k] - ir_before.get(k, 0)
+                        for k in ir_after
+                        if ir_after[k] - ir_before.get(k, 0)})
+    x86_delta = Counter({k: x86_after[k] - x86_before.get(k, 0)
+                         for k in x86_after
+                         if x86_after[k] - x86_before.get(k, 0)})
+
+    lines = [
+        "TABLE IV: added instructions per protected branch",
+        "",
+        "  level    opcode      paper   measured",
+        "  -----    ---------   -----   --------",
+    ]
+    for opcode in sorted(set(PAPER_IR) | set(ir_delta)):
+        lines.append(f"  IR       {opcode:<9}   "
+                     f"{PAPER_IR.get(opcode, 0):>5}   "
+                     f"{ir_delta.get(opcode, 0):>8}")
+    lines.append("")
+    for opcode, count in sorted(x86_delta.items()):
+        lines.append(f"  x86-64   {opcode:<9}   {'-':>5}   {count:>8}")
+    lines.append("")
+    lines.append(f"  total IR delta : {sum(ir_delta.values())} "
+                 f"(paper: {sum(PAPER_IR.values())})")
+    lines.append(f"  total x86 delta: {sum(x86_delta.values())} "
+                 f"(paper: ~35)")
+    record("table4_branch_hardening_cost", "\n".join(lines))
+
+    # exact reproduction of the paper's checksum arithmetic census
+    assert ir_delta["zext"] == PAPER_IR["zext"]
+    assert ir_delta["sub"] == PAPER_IR["sub"]
+    assert ir_delta["xor"] == PAPER_IR["xor"]
+    assert ir_delta["or"] == PAPER_IR["or"]
+    assert ir_delta["and"] == PAPER_IR["and"]
+    assert ir_delta["switch"] == PAPER_IR["switch"]
+    # the re-evaluated comparison (>= 1: chain recloning may add more)
+    assert ir_delta.get("icmp", 0) >= PAPER_IR["icmp"]
+    # overall shape: a couple of instructions become a few dozen
+    assert 15 <= sum(ir_delta.values()) <= 40
+    assert 20 <= sum(x86_delta.values()) <= 80

@@ -1,0 +1,17 @@
+"""Legacy installation shim.
+
+``pip install -e .`` needs the ``wheel`` package for editable builds on
+older setuptools; in fully offline environments ``python setup.py
+develop`` (or the ``.pth`` trick in README.md) achieves the same.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    entry_points={"console_scripts": ["r2r = repro.cli:main"]},
+)

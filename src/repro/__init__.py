@@ -1,0 +1,46 @@
+"""Rewrite to Reinforce — binary rewriting for fault-injection countermeasures.
+
+Reproduction of Kiaei et al., "Rewrite to Reinforce: Rewriting the Binary
+to Apply Countermeasures against Fault Injection" (DAC 2021).
+
+The package bundles the paper's primary contribution (the Faulter+Patcher
+loop and the Hybrid lift/harden/lower pipeline) together with every
+substrate it needs to run offline: an x86-64 subset ISA with real
+encodings, an ELF64 subset, an assembler/linker, a CPU emulator, a
+GTIRB-like rewriting IR with Ddisasm-style recovery, and an LLVM-like SSA
+IR with a lowering backend.
+
+Quickstart::
+
+    from repro.api import harden_binary
+    from repro.workloads import pincheck
+
+    binary = pincheck.build()
+    result = harden_binary(
+        binary,
+        approach="faulter+patcher",
+        fault_models=("skip",),
+        good_input=b"1234\\n",
+        bad_input=b"9999\\n",
+    )
+    print(result.report())
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name):
+    """Lazy access to the main entry points.
+
+    ``repro.harden_binary`` / ``repro.find_vulnerabilities`` work
+    without importing the whole pipeline at package-import time.
+    """
+    if name in ("harden_binary", "find_vulnerabilities",
+                "hardened_elf"):
+        from repro import api
+        return getattr(api, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+__all__ = ["__version__", "harden_binary", "find_vulnerabilities",
+           "hardened_elf"]

@@ -1,0 +1,98 @@
+"""Reaching definitions and def-use chains over the CFG.
+
+This is the def-use component the paper attributes to Ddisasm's "Data
+Access Pattern" analysis; the tests use it to relate address
+materializations to the memory accesses they feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gtirb.cfg import build_cfg
+from repro.gtirb.ir import CodeBlock, Module
+from repro.isa.metadata import effects
+
+
+@dataclass(frozen=True)
+class DefSite:
+    block_uid: int
+    index: int
+    register: object  # Register
+
+    def __repr__(self):
+        return f"Def({self.register.name}@b{self.block_uid}[{self.index}])"
+
+
+class DefUse:
+    """Def-use chains: which definitions reach which uses."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.cfg = build_cfg(module)
+        self._blocks = module.code_blocks()
+        self._effects = {
+            b.uid: [effects(e.insn) for e in b.entries]
+            for b in self._blocks
+        }
+        self._in: dict[int, frozenset] = {}
+        self._compute()
+        self.uses: dict[DefSite, list[tuple[int, int]]] = {}
+        self._link()
+
+    def reaching_in(self, block: CodeBlock) -> frozenset:
+        return self._in.get(block.uid, frozenset())
+
+    def defs_reaching(self, block: CodeBlock, index: int,
+                      register) -> list[DefSite]:
+        """Definitions of ``register`` reaching ``block.entries[index]``."""
+        live = set(self.reaching_in(block))
+        for i in range(index):
+            live = self._step(block.uid, i, live)
+        return [d for d in live if d.register == register]
+
+    def uses_of(self, site: DefSite) -> list[tuple[int, int]]:
+        """(block_uid, index) pairs that use ``site``'s value."""
+        return self.uses.get(site, [])
+
+    # ------------------------------------------------------------------
+
+    def _step(self, uid: int, index: int, live: set) -> set:
+        eff = self._effects[uid][index]
+        if eff.writes:
+            live = {d for d in live if d.register not in eff.writes}
+            live |= {DefSite(uid, index, r) for r in eff.writes}
+        return live
+
+    def _transfer(self, block: CodeBlock, incoming: frozenset) -> frozenset:
+        live = set(incoming)
+        for index in range(len(block.entries)):
+            live = self._step(block.uid, index, live)
+        return frozenset(live)
+
+    def _compute(self):
+        for block in self._blocks:
+            self._in[block.uid] = frozenset()
+        changed = True
+        while changed:
+            changed = False
+            for block in self._blocks:
+                out = self._transfer(block, self._in[block.uid])
+                for edge in self.cfg.successors(block):
+                    if edge.dst is None:
+                        continue
+                    merged = self._in[edge.dst.uid] | out
+                    if merged != self._in[edge.dst.uid]:
+                        self._in[edge.dst.uid] = merged
+                        changed = True
+
+    def _link(self):
+        for block in self._blocks:
+            live = set(self._in[block.uid])
+            for index, eff in enumerate(self._effects[block.uid]):
+                for register in eff.reads:
+                    for site in [d for d in live
+                                 if d.register == register]:
+                        self.uses.setdefault(site, []).append(
+                            (block.uid, index))
+                live = self._step(block.uid, index, live)

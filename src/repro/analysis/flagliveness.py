@@ -1,0 +1,79 @@
+"""Backward liveness of the arithmetic flags over the CFG.
+
+Conservative on unknown control flow: an indirect jump or a missing
+successor makes flags live.  Calls and returns follow the SysV ABI
+(flags are not preserved across them), so flags are dead at those
+edges — matching how Ddisasm-based rewriters reason about binaries.
+"""
+
+from __future__ import annotations
+
+from repro.gtirb.cfg import CFG, build_cfg
+from repro.gtirb.ir import CodeBlock, Module
+
+
+class FlagLiveness:
+    """Flags-liveness query object for one module snapshot.
+
+    Invalidate (drop and rebuild) after mutating the module.
+    """
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.cfg: CFG = build_cfg(module)
+        self._live_in: dict[int, bool] = {}
+        self._compute()
+
+    # -- public queries -----------------------------------------------------
+
+    def live_in(self, block: CodeBlock) -> bool:
+        return self._live_in.get(block.uid, True)
+
+    def live_out(self, block: CodeBlock) -> bool:
+        out = False
+        edges = self.cfg.successors(block)
+        if not edges:
+            return False  # program end (hlt / exit path)
+        for edge in edges:
+            if edge.kind in ("call", "return"):
+                continue  # ABI: flags dead across calls/returns
+            if edge.dst is None:
+                return True  # unknown target: stay conservative
+            out = out or self.live_in(edge.dst)
+        return out
+
+    def live_after(self, block: CodeBlock, index: int) -> bool:
+        """Are flags live immediately after ``block.entries[index]``?"""
+        live = self.live_out(block)
+        for entry in reversed(block.entries[index + 1:]):
+            insn = entry.insn
+            if insn.reads_flags:
+                live = True
+            elif insn.writes_flags:
+                live = False
+        return live
+
+    # -- fixpoint ------------------------------------------------------------
+
+    def _transfer(self, block: CodeBlock, live_out: bool) -> bool:
+        live = live_out
+        for entry in reversed(block.entries):
+            insn = entry.insn
+            if insn.reads_flags:
+                live = True
+            elif insn.writes_flags:
+                live = False
+        return live
+
+    def _compute(self):
+        blocks = self.module.code_blocks()
+        for block in blocks:
+            self._live_in[block.uid] = False
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(blocks):
+                new_value = self._transfer(block, self.live_out(block))
+                if new_value != self._live_in[block.uid]:
+                    self._live_in[block.uid] = new_value
+                    changed = True

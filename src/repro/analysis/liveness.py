@@ -1,0 +1,84 @@
+"""Backward register liveness over the CFG.
+
+Registers are tracked at 64-bit GPR granularity (sub-register
+reads/writes touch the parent).  Unknown control flow (indirect jumps,
+returns) conservatively treats every register as live; call edges use
+the SysV convention for caller-saved scratch registers only when the
+callee is unknown.
+"""
+
+from __future__ import annotations
+
+from repro.gtirb.cfg import CFG, build_cfg
+from repro.gtirb.ir import CodeBlock, Module
+from repro.isa.metadata import effects
+from repro.isa.registers import all_gpr64
+
+ALL_REGS = frozenset(all_gpr64())
+
+
+class RegisterLiveness:
+    """Per-block register liveness query object."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.cfg: CFG = build_cfg(module)
+        self._live_in: dict[int, frozenset] = {}
+        self._effects_cache: dict[int, list] = {}
+        self._compute()
+
+    def live_in(self, block: CodeBlock) -> frozenset:
+        return self._live_in.get(block.uid, ALL_REGS)
+
+    def live_out(self, block: CodeBlock) -> frozenset:
+        edges = self.cfg.successors(block)
+        if not edges:
+            return frozenset()
+        out = set()
+        for edge in edges:
+            if edge.dst is None:
+                return ALL_REGS
+            out |= self.live_in(edge.dst)
+        return frozenset(out)
+
+    def live_after(self, block: CodeBlock, index: int) -> frozenset:
+        """Registers live immediately after ``block.entries[index]``."""
+        live = set(self.live_out(block))
+        for entry in reversed(block.entries[index + 1:]):
+            eff = effects(entry.insn)
+            live -= eff.writes
+            live |= eff.reads
+        return frozenset(live)
+
+    def dead_after(self, block: CodeBlock, index: int) -> frozenset:
+        """Registers provably dead after the entry (safe scratch picks)."""
+        return ALL_REGS - self.live_after(block, index)
+
+    # ------------------------------------------------------------------
+
+    def _block_effects(self, block: CodeBlock) -> list:
+        cached = self._effects_cache.get(block.uid)
+        if cached is None:
+            cached = [effects(e.insn) for e in block.entries]
+            self._effects_cache[block.uid] = cached
+        return cached
+
+    def _transfer(self, block: CodeBlock, live_out: frozenset) -> frozenset:
+        live = set(live_out)
+        for eff in reversed(self._block_effects(block)):
+            live -= eff.writes
+            live |= eff.reads
+        return frozenset(live)
+
+    def _compute(self):
+        blocks = self.module.code_blocks()
+        for block in blocks:
+            self._live_in[block.uid] = frozenset()
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(blocks):
+                new_value = self._transfer(block, self.live_out(block))
+                if new_value != self._live_in[block.uid]:
+                    self._live_in[block.uid] = new_value
+                    changed = True

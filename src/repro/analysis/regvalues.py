@@ -1,0 +1,123 @@
+"""Register value analysis (Ddisasm-style constant propagation).
+
+Forward dataflow tracking registers with statically known constant
+values (from ``mov reg, imm``, ``xor reg, reg``, ``lea`` over known
+bases, and simple arithmetic on known values).  The disassembler's
+refined symbolization and the tests use it to reason about which
+immediates actually flow into address computations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.gtirb.cfg import build_cfg
+from repro.gtirb.ir import CodeBlock, Module
+from repro.isa.insn import Mnemonic
+from repro.isa.metadata import effects
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import parent_gpr
+
+_MASK64 = (1 << 64) - 1
+
+# lattice: dict reg -> int for known; missing = unknown (top handled by
+# intersection at joins)
+
+
+class RegisterValueAnalysis:
+    """Per-block-entry known-register-value maps."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.cfg = build_cfg(module)
+        self._in: dict[int, Optional[dict]] = {}
+        self._compute()
+
+    def values_in(self, block: CodeBlock) -> dict:
+        state = self._in.get(block.uid)
+        return dict(state) if state else {}
+
+    def value_before(self, block: CodeBlock, index: int,
+                     register) -> Optional[int]:
+        """Known value of ``register`` before ``block.entries[index]``."""
+        state = self.values_in(block)
+        for entry in block.entries[:index]:
+            state = _transfer_one(entry.insn, state)
+        return state.get(parent_gpr(register))
+
+    # ------------------------------------------------------------------
+
+    def _compute(self):
+        blocks = self.module.code_blocks()
+        if not blocks:
+            return
+        entry_block = (self.module.entry.referent
+                       if self.module.entry is not None and
+                       isinstance(self.module.entry.referent, CodeBlock)
+                       else blocks[0])
+        self._in = {b.uid: None for b in blocks}  # None = unreached
+        self._in[entry_block.uid] = {}
+        worklist = [entry_block]
+        out_cache: dict[int, dict] = {}
+        while worklist:
+            block = worklist.pop()
+            state = self._in[block.uid]
+            if state is None:
+                continue
+            out = dict(state)
+            for entry in block.entries:
+                out = _transfer_one(entry.insn, out)
+            out_cache[block.uid] = out
+            for edge in self.cfg.successors(block):
+                if edge.dst is None:
+                    continue
+                incoming = out if edge.kind != "call" else {}
+                merged = _join(self._in.get(edge.dst.uid), incoming)
+                if merged != self._in.get(edge.dst.uid):
+                    self._in[edge.dst.uid] = merged
+                    worklist.append(edge.dst)
+
+
+def _join(old: Optional[dict], new: dict) -> dict:
+    if old is None:
+        return dict(new)
+    return {reg: value for reg, value in old.items()
+            if new.get(reg) == value}
+
+
+def _transfer_one(insn, state: dict) -> dict:
+    state = dict(state)
+    m = insn.mnemonic
+    ops = insn.operands
+    if m is Mnemonic.MOV and len(ops) == 2 and isinstance(ops[0], Reg):
+        dst = parent_gpr(ops[0].register)
+        value = _operand_value(ops[1], state, ops[0].size)
+        if value is not None:
+            state[dst] = value
+            return state
+    if m is Mnemonic.XOR and len(ops) == 2 and \
+            isinstance(ops[0], Reg) and ops[0] == ops[1]:
+        state[parent_gpr(ops[0].register)] = 0
+        return state
+    if m in (Mnemonic.ADD, Mnemonic.SUB) and isinstance(ops[0], Reg):
+        dst = parent_gpr(ops[0].register)
+        current = state.get(dst)
+        delta = _operand_value(ops[1], state, ops[0].size)
+        if current is not None and delta is not None:
+            if m is Mnemonic.SUB:
+                delta = -delta
+            state[dst] = (current + delta) & _MASK64
+            return state
+    # anything else: kill written registers
+    for written in effects(insn).writes:
+        state.pop(written, None)
+    return state
+
+
+def _operand_value(operand, state: dict, width: int) -> Optional[int]:
+    if isinstance(operand, Imm):
+        return operand.value & ((1 << (width * 8)) - 1) if width < 8 \
+            else operand.value & _MASK64
+    if isinstance(operand, Reg):
+        return state.get(parent_gpr(operand.register))
+    return None

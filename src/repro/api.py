@@ -1,0 +1,81 @@
+"""Top-level convenience API.
+
+Two entry points mirror the paper's two methodologies::
+
+    from repro.api import find_vulnerabilities, harden_binary
+
+    report = find_vulnerabilities(exe, good, bad, marker,
+                                  models=("skip", "bitflip"))
+
+    result = harden_binary(exe, good_input=good, bad_input=bad,
+                           grant_marker=marker,
+                           approach="faulter+patcher")   # or "hybrid"
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.binfmt.image import Executable
+from repro.binfmt.reader import read_elf
+from repro.binfmt.writer import write_elf
+from repro.faulter.campaign import Faulter
+from repro.faulter.report import CampaignReport
+from repro.hybrid.pipeline import HybridResult, hybrid_harden
+from repro.patcher.loop import FaulterPatcherLoop, HardenResult
+
+APPROACHES = ("faulter+patcher", "hybrid")
+
+
+def _as_executable(image: Union[Executable, bytes]) -> Executable:
+    if isinstance(image, (bytes, bytearray)):
+        return read_elf(bytes(image))
+    return image
+
+
+def find_vulnerabilities(image: Union[Executable, bytes],
+                         good_input: bytes,
+                         bad_input: bytes,
+                         grant_marker: bytes,
+                         models: Sequence[str] = ("skip", "bitflip"),
+                         name: str = "target"
+                         ) -> dict[str, CampaignReport]:
+    """Run fault campaigns against a binary (the faulter alone)."""
+    faulter = Faulter(_as_executable(image), good_input, bad_input,
+                      grant_marker, name=name)
+    return faulter.run_all(models)
+
+
+def harden_binary(image: Union[Executable, bytes],
+                  good_input: bytes,
+                  bad_input: bytes,
+                  grant_marker: bytes,
+                  approach: str = "faulter+patcher",
+                  fault_models: Sequence[str] = ("skip",),
+                  name: str = "target",
+                  **kwargs) -> Union[HardenResult, HybridResult]:
+    """Harden a binary with one of the paper's two approaches.
+
+    ``approach="faulter+patcher"`` runs the iterative Fig. 2 loop
+    (extra kwargs: ``max_iterations``, ``symbolization``);
+    ``approach="hybrid"`` runs the lift-harden-lower pipeline of
+    Fig. 3 (extra kwargs: ``uid_seed``, ``branch_filter``,
+    ``fold_constants``).
+    """
+    exe = _as_executable(image)
+    if approach == "faulter+patcher":
+        loop = FaulterPatcherLoop(
+            exe, good_input, bad_input, grant_marker,
+            models=fault_models, name=name, **kwargs)
+        return loop.run()
+    if approach == "hybrid":
+        return hybrid_harden(
+            exe, good_input, bad_input, grant_marker, name=name,
+            models=fault_models, **kwargs)
+    raise ValueError(
+        f"unknown approach {approach!r}; pick one of {APPROACHES}")
+
+
+def hardened_elf(result: Union[HardenResult, HybridResult]) -> bytes:
+    """Serialize a hardening result to ELF bytes."""
+    return write_elf(result.hardened)

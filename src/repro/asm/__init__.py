@@ -1,0 +1,13 @@
+"""Two-pass Intel-syntax assembler and static linker.
+
+Substitutes for GNU as/ld in the paper's toolchain.  The same assembler
+consumes hand-written workload sources, the GTIRB pretty-printer's
+reassembleable output, and the backend's lowered code, so every pipeline
+in the reproduction exits through one code path.
+"""
+
+from repro.asm.assembler import assemble, assemble_to_elf, assemble_with_map
+from repro.asm.parser import parse_source
+
+__all__ = ["assemble", "assemble_to_elf", "assemble_with_map",
+           "parse_source"]

@@ -1,0 +1,89 @@
+"""Parsed representation of an assembly source file."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.isa.insn import Instruction
+
+
+@dataclass
+class LabelDef:
+    """``name:`` — defines a symbol at the current location."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass
+class InsnStmt:
+    """One instruction, possibly with unresolved Label operands.
+
+    ``tag`` is an opaque provenance handle (the GTIRB rewriting loop
+    stores the originating ``InsnEntry`` here so the assembler can
+    report the final address of every instruction it owns).
+    """
+
+    insn: Instruction
+    line: int = 0
+    tag: object = None
+
+
+@dataclass
+class DataStmt:
+    """Emitted data: raw byte chunks interleaved with symbol references.
+
+    ``parts`` items are either ``bytes`` or ``(symbol_name, addend,
+    size)`` tuples resolved at link time (ABS relocations).
+    """
+
+    parts: list[Union[bytes, tuple[str, int, int]]] = field(
+        default_factory=list)
+    line: int = 0
+
+    def size(self) -> int:
+        total = 0
+        for part in self.parts:
+            total += len(part) if isinstance(part, bytes) else part[2]
+        return total
+
+
+@dataclass
+class AlignStmt:
+    """``.align N`` — pad to an N-byte boundary."""
+
+    alignment: int
+    line: int = 0
+
+
+@dataclass
+class SpaceStmt:
+    """``.zero N`` / ``.space N`` — N zero bytes (extends bss extent)."""
+
+    size: int
+    line: int = 0
+
+
+SectionItem = Union[LabelDef, InsnStmt, DataStmt, AlignStmt, SpaceStmt]
+
+
+@dataclass
+class Program:
+    """A parsed assembly translation unit.
+
+    ``text_base`` and ``section_addresses`` let a client pin the layout:
+    the lowering backend keeps the guest's data sections at their
+    original virtual addresses (lifted code references them as absolute
+    constants) while relocating the regenerated code elsewhere.
+    """
+
+    sections: dict[str, list[SectionItem]] = field(default_factory=dict)
+    globals: set[str] = field(default_factory=set)
+    constants: dict[str, int] = field(default_factory=dict)
+    entry: str = "_start"
+    text_base: int = 0x401000
+    section_addresses: dict[str, int] = field(default_factory=dict)
+
+    def items(self, section: str) -> list[SectionItem]:
+        return self.sections.setdefault(section, [])

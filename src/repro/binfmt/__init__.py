@@ -1,0 +1,14 @@
+"""ELF64 subset: executable image model, writer and reader.
+
+Substitutes for the system toolchain's object format.  The writer emits
+genuinely well-formed little-endian ELF64 executables (program headers,
+section headers, symbol table), and the reader parses them back; the
+emulator, disassembler and rewriter all exchange
+:class:`~repro.binfmt.image.Executable` objects or raw ELF bytes.
+"""
+
+from repro.binfmt.image import Executable, Section, SymbolDef
+from repro.binfmt.writer import write_elf
+from repro.binfmt.reader import read_elf
+
+__all__ = ["Executable", "Section", "SymbolDef", "write_elf", "read_elf"]

@@ -1,0 +1,68 @@
+"""ELF64 constants and struct layouts (little-endian, x86-64)."""
+
+import struct
+
+ELF_MAGIC = b"\x7fELF"
+ELFCLASS64 = 2
+ELFDATA2LSB = 1
+EV_CURRENT = 1
+
+ET_EXEC = 2
+EM_X86_64 = 62
+
+PT_LOAD = 1
+PF_X = 1
+PF_W = 2
+PF_R = 4
+
+SHT_NULL = 0
+SHT_PROGBITS = 1
+SHT_SYMTAB = 2
+SHT_STRTAB = 3
+SHT_NOBITS = 8
+
+SHF_WRITE = 1
+SHF_ALLOC = 2
+SHF_EXECINSTR = 4
+
+STB_LOCAL = 0
+STB_GLOBAL = 1
+STT_NOTYPE = 0
+STT_FUNC = 2
+STT_OBJECT = 1
+
+SHN_UNDEF = 0
+
+PAGE = 0x1000
+
+EHDR = struct.Struct("<16sHHIQQQIHHHHHH")
+PHDR = struct.Struct("<IIQQQQQQ")
+SHDR = struct.Struct("<IIQQQQIIQQ")
+SYM = struct.Struct("<IBBHQQ")
+
+
+def section_flags_to_shf(flags: str) -> int:
+    value = SHF_ALLOC
+    if "w" in flags:
+        value |= SHF_WRITE
+    if "x" in flags:
+        value |= SHF_EXECINSTR
+    return value
+
+
+def section_flags_to_pf(flags: str) -> int:
+    value = PF_R
+    if "w" in flags:
+        value |= PF_W
+    if "x" in flags:
+        value |= PF_X
+    return value
+
+
+def shf_to_section_flags(shf: int) -> str:
+    flags = "r"
+    if shf & SHF_WRITE:
+        flags += "w"
+    if shf & SHF_EXECINSTR:
+        flags += "x"
+    return flags

@@ -1,0 +1,116 @@
+"""In-memory model of a linked executable."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional
+
+
+@dataclass
+class Section:
+    """A loadable section.
+
+    ``data`` holds file content; for NOBITS (``.bss``) sections ``data``
+    is empty and ``mem_size`` carries the zero-initialized extent.
+    """
+
+    name: str
+    addr: int
+    data: bytes = b""
+    mem_size: Optional[int] = None
+    flags: str = "r"  # subset of "rwx"
+    nobits: bool = False
+
+    def __post_init__(self):
+        if self.mem_size is None:
+            self.mem_size = len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.addr + self.mem_size
+
+    @property
+    def executable(self) -> bool:
+        return "x" in self.flags
+
+    @property
+    def writable(self) -> bool:
+        return "w" in self.flags
+
+    def contains(self, address: int) -> bool:
+        return self.addr <= address < self.end
+
+
+@dataclass
+class SymbolDef:
+    """A linked symbol (label) with its resolved address."""
+
+    name: str
+    value: int
+    section: str
+    is_global: bool = False
+    is_func: bool = False
+
+
+@dataclass
+class Executable:
+    """A linked executable image: sections + symbols + entry point."""
+
+    entry: int
+    sections: list[Section] = field(default_factory=list)
+    symbols: list[SymbolDef] = field(default_factory=list)
+
+    def section(self, name: str) -> Section:
+        for section in self.sections:
+            if section.name == name:
+                return section
+        raise KeyError(f"no section named {name!r}")
+
+    def has_section(self, name: str) -> bool:
+        return any(s.name == name for s in self.sections)
+
+    def section_at(self, address: int) -> Optional[Section]:
+        for section in self.sections:
+            if section.contains(address):
+                return section
+        return None
+
+    def symbol(self, name: str) -> SymbolDef:
+        for sym in self.symbols:
+            if sym.name == name:
+                return sym
+        raise KeyError(f"no symbol named {name!r}")
+
+    def symbols_in(self, section_name: str) -> Iterable[SymbolDef]:
+        return [s for s in self.symbols if s.section == section_name]
+
+    def address_ranges(self) -> list[tuple[int, int]]:
+        """Sorted (start, end) ranges of all loadable sections."""
+        return sorted((s.addr, s.end) for s in self.sections)
+
+    def in_loaded_range(self, address: int) -> bool:
+        return self.section_at(address) is not None
+
+    def stripped(self) -> "Executable":
+        """Copy without any symbols (exercises symbol-free recovery)."""
+        return Executable(self.entry, list(self.sections), [])
+
+    def read(self, address: int, size: int) -> bytes:
+        """Read bytes from the image at a virtual address."""
+        section = self.section_at(address)
+        if section is None:
+            raise KeyError(f"address {address:#x} not in any section")
+        offset = address - section.addr
+        if section.nobits:
+            return bytes(size)
+        chunk = section.data[offset:offset + size]
+        if len(chunk) < size:
+            chunk += bytes(size - len(chunk))
+        return chunk
+
+    def code_size(self) -> int:
+        """Total size of executable sections (the paper's overhead metric)."""
+        return sum(s.mem_size for s in self.sections if s.executable)
+
+    def with_entry(self, entry: int) -> "Executable":
+        return replace(self, entry=entry)

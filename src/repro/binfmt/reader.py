@@ -1,0 +1,80 @@
+"""Parse ELF64 bytes back into an :class:`~repro.binfmt.image.Executable`."""
+
+from __future__ import annotations
+
+from repro.binfmt import elfdefs as d
+from repro.binfmt.image import Executable, Section, SymbolDef
+from repro.errors import ElfError
+
+
+def _cstr(blob: bytes, offset: int) -> str:
+    end = blob.index(b"\x00", offset)
+    return blob[offset:end].decode()
+
+
+def read_elf(blob: bytes) -> Executable:
+    """Parse an ELF64 executable produced by :func:`write_elf` (or
+    compatible enough: little-endian EXEC for x86-64 with section
+    headers)."""
+    if blob[:4] != d.ELF_MAGIC:
+        raise ElfError("bad ELF magic")
+    if blob[4] != d.ELFCLASS64 or blob[5] != d.ELFDATA2LSB:
+        raise ElfError("only little-endian ELF64 is supported")
+    fields = d.EHDR.unpack_from(blob, 0)
+    (_, e_type, e_machine, _, e_entry, _, e_shoff, _, _, _, _,
+     e_shentsize, e_shnum, e_shstrndx) = fields
+    if e_machine != d.EM_X86_64:
+        raise ElfError(f"unsupported machine {e_machine}")
+    if e_shnum == 0:
+        raise ElfError("missing section headers")
+
+    shdrs = [
+        d.SHDR.unpack_from(blob, e_shoff + i * e_shentsize)
+        for i in range(e_shnum)
+    ]
+    shstr_off = shdrs[e_shstrndx][4]
+
+    sections: list[Section] = []
+    index_to_name: dict[int, str] = {}
+    symtab = None
+    strtab_off = None
+    for index, sh in enumerate(shdrs):
+        (sh_name, sh_type, sh_flags, sh_addr, sh_offset, sh_size,
+         sh_link, _, _, sh_entsize) = sh
+        name = _cstr(blob, shstr_off + sh_name)
+        index_to_name[index] = name
+        if sh_type == d.SHT_SYMTAB:
+            symtab = (sh_offset, sh_size, sh_entsize)
+            strtab_off = shdrs[sh_link][4]
+        if not sh_flags & d.SHF_ALLOC:
+            continue
+        nobits = sh_type == d.SHT_NOBITS
+        data = b"" if nobits else blob[sh_offset:sh_offset + sh_size]
+        sections.append(Section(
+            name=name,
+            addr=sh_addr,
+            data=data,
+            mem_size=sh_size,
+            flags=d.shf_to_section_flags(sh_flags),
+            nobits=nobits,
+        ))
+
+    symbols: list[SymbolDef] = []
+    if symtab is not None:
+        offset, size, entsize = symtab
+        count = size // entsize
+        for i in range(1, count):
+            st_name, st_info, _, st_shndx, st_value, _ = d.SYM.unpack_from(
+                blob, offset + i * entsize)
+            name = _cstr(blob, strtab_off + st_name)
+            if not name:
+                continue
+            symbols.append(SymbolDef(
+                name=name,
+                value=st_value,
+                section=index_to_name.get(st_shndx, ""),
+                is_global=(st_info >> 4) == d.STB_GLOBAL,
+                is_func=(st_info & 0xF) == d.STT_FUNC,
+            ))
+
+    return Executable(entry=e_entry, sections=sections, symbols=symbols)

@@ -1,0 +1,131 @@
+"""Serialize an :class:`~repro.binfmt.image.Executable` to ELF64 bytes."""
+
+from __future__ import annotations
+
+from repro.binfmt import elfdefs as d
+from repro.binfmt.image import Executable
+
+
+class _StrTab:
+    """Builds a string table, returning offsets for each added name."""
+
+    def __init__(self):
+        self._data = bytearray(b"\x00")
+        self._offsets: dict[str, int] = {"": 0}
+
+    def add(self, name: str) -> int:
+        if name not in self._offsets:
+            self._offsets[name] = len(self._data)
+            self._data += name.encode() + b"\x00"
+        return self._offsets[name]
+
+    def bytes(self) -> bytes:
+        return bytes(self._data)
+
+
+def write_elf(exe: Executable) -> bytes:
+    """Produce a well-formed ELF64 EXEC image for ``exe``.
+
+    One PT_LOAD segment per section; file offsets are congruent to
+    virtual addresses modulo the page size, as the SysV ABI requires.
+    """
+    sections = sorted(exe.sections, key=lambda s: s.addr)
+    phnum = len(sections)
+
+    # --- lay out file offsets -------------------------------------------
+    pos = d.EHDR.size + d.PHDR.size * phnum
+    offsets: dict[str, int] = {}
+    for section in sections:
+        congruent = section.addr % d.PAGE
+        if pos % d.PAGE != congruent:
+            pos += (congruent - pos) % d.PAGE
+        offsets[section.name] = pos
+        if not section.nobits:
+            pos += len(section.data)
+
+    shstrtab = _StrTab()
+    strtab = _StrTab()
+
+    # --- symbol table ----------------------------------------------------
+    section_index = {s.name: i + 1 for i, s in enumerate(sections)}
+    locals_, globals_ = [], []
+    for sym in exe.symbols:
+        (globals_ if sym.is_global else locals_).append(sym)
+    sym_entries = [d.SYM.pack(0, 0, 0, 0, 0, 0)]
+    for sym in locals_ + globals_:
+        bind = d.STB_GLOBAL if sym.is_global else d.STB_LOCAL
+        stype = d.STT_FUNC if sym.is_func else d.STT_NOTYPE
+        shndx = section_index.get(sym.section, d.SHN_UNDEF)
+        sym_entries.append(d.SYM.pack(
+            strtab.add(sym.name), (bind << 4) | stype, 0, shndx,
+            sym.value, 0))
+    symtab_data = b"".join(sym_entries)
+    first_global = 1 + len(locals_)
+
+    strtab_data_offset = pos
+    strtab_bytes = strtab.bytes()
+    pos += len(strtab_bytes)
+    symtab_offset = pos
+    pos += len(symtab_data)
+
+    # --- section headers ---------------------------------------------------
+    shdrs = [d.SHDR.pack(0, d.SHT_NULL, 0, 0, 0, 0, 0, 0, 0, 0)]
+    for section in sections:
+        sh_type = d.SHT_NOBITS if section.nobits else d.SHT_PROGBITS
+        shdrs.append(d.SHDR.pack(
+            shstrtab.add(section.name), sh_type,
+            d.section_flags_to_shf(section.flags), section.addr,
+            offsets[section.name], section.mem_size, 0, 0, 16, 0))
+    strtab_index = len(sections) + 1
+    shdrs.append(d.SHDR.pack(
+        shstrtab.add(".strtab"), d.SHT_STRTAB, 0, 0,
+        strtab_data_offset, len(strtab_bytes), 0, 0, 1, 0))
+    shdrs.append(d.SHDR.pack(
+        shstrtab.add(".symtab"), d.SHT_SYMTAB, 0, 0,
+        symtab_offset, len(symtab_data), strtab_index, first_global,
+        8, d.SYM.size))
+    shstr_offset = pos
+    shstr_name = shstrtab.add(".shstrtab")
+    shstr_bytes = shstrtab.bytes()
+    pos += len(shstr_bytes)
+    shdrs.append(d.SHDR.pack(
+        shstr_name, d.SHT_STRTAB, 0, 0, shstr_offset,
+        len(shstr_bytes), 0, 0, 1, 0))
+
+    shoff = pos
+    shnum = len(shdrs)
+    shstrndx = shnum - 1
+
+    # --- ELF header and program headers -----------------------------------
+    ident = d.ELF_MAGIC + bytes([d.ELFCLASS64, d.ELFDATA2LSB,
+                                 d.EV_CURRENT]) + bytes(9)
+    ehdr = d.EHDR.pack(
+        ident, d.ET_EXEC, d.EM_X86_64, d.EV_CURRENT, exe.entry,
+        d.EHDR.size, shoff, 0, d.EHDR.size, d.PHDR.size, phnum,
+        d.SHDR.size, shnum, shstrndx)
+    phdrs = b"".join(
+        d.PHDR.pack(
+            d.PT_LOAD, d.section_flags_to_pf(section.flags),
+            offsets[section.name], section.addr, section.addr,
+            0 if section.nobits else len(section.data),
+            section.mem_size, d.PAGE)
+        for section in sections)
+
+    # --- assemble the file --------------------------------------------------
+    blob = bytearray(ehdr + phdrs)
+    for section in sections:
+        if section.nobits:
+            continue
+        offset = offsets[section.name]
+        if len(blob) < offset:
+            blob += bytes(offset - len(blob))
+        blob[offset:offset + len(section.data)] = section.data
+    if len(blob) < strtab_data_offset:
+        # NOBITS congruence adjustment may leave a gap before metadata
+        blob += bytes(strtab_data_offset - len(blob))
+    blob += strtab_bytes
+    blob += symtab_data
+    blob += shstr_bytes
+    assert len(blob) == shoff
+    blob += b"".join(shdrs)
+    return bytes(blob)

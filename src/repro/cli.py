@@ -1,0 +1,158 @@
+"""``r2r`` command line: fault, patch, and harden binaries.
+
+Subcommands::
+
+    r2r fault  TARGET.elf --good HEX --bad HEX --marker TEXT [--model M]
+    r2r harden TARGET.elf -o OUT.elf --approach {faulter+patcher,hybrid}
+    r2r demo   {pincheck,bootloader} --approach ...
+    r2r run    TARGET.elf [--stdin HEX]
+    r2r disasm TARGET.elf
+
+Inputs are passed as hex strings (``--good 31323334``) or with a
+``text:`` prefix (``--good text:1234``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import find_vulnerabilities, harden_binary, hardened_elf
+from repro.binfmt.reader import read_elf
+from repro.disasm import disassemble, pretty_print
+from repro.emu.machine import run_executable
+from repro.workloads import bootloader, pincheck
+
+
+def _decode_input(text: str) -> bytes:
+    if text.startswith("text:"):
+        return text[5:].encode()
+    return bytes.fromhex(text)
+
+
+def _load(path: str):
+    with open(path, "rb") as handle:
+        return read_elf(handle.read())
+
+
+def _cmd_fault(args) -> int:
+    reports = find_vulnerabilities(
+        _load(args.target), _decode_input(args.good),
+        _decode_input(args.bad), args.marker.encode(),
+        models=args.model, name=args.target)
+    for report in reports.values():
+        print(report.summary())
+    return 0 if not any(r.vulnerable for r in reports.values()) else 1
+
+
+def _cmd_harden(args) -> int:
+    result = harden_binary(
+        _load(args.target), _decode_input(args.good),
+        _decode_input(args.bad), args.marker.encode(),
+        approach=args.approach, fault_models=args.model,
+        name=args.target)
+    print(result.report())
+    with open(args.output, "wb") as handle:
+        handle.write(hardened_elf(result))
+    print(f"hardened binary written to {args.output}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    wl = (pincheck.workload(rich=args.rich) if args.case == "pincheck"
+          else bootloader.workload(rich=args.rich))
+    result = harden_binary(
+        wl.build(), wl.good_input, wl.bad_input, wl.grant_marker,
+        approach=args.approach, fault_models=args.model, name=wl.name)
+    print(result.report())
+    if args.output:
+        with open(args.output, "wb") as handle:
+            handle.write(hardened_elf(result))
+        print(f"hardened binary written to {args.output}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    stdin = _decode_input(args.stdin) if args.stdin else b""
+    result = run_executable(_load(args.target), stdin=stdin)
+    sys.stdout.write(result.stdout.decode("latin-1"))
+    sys.stderr.write(result.stderr.decode("latin-1"))
+    print(f"[{result.reason}] exit={result.exit_code} "
+          f"steps={result.steps}", file=sys.stderr)
+    return result.exit_code or 0
+
+
+def _cmd_disasm(args) -> int:
+    module = disassemble(_load(args.target), mode=args.mode)
+    print(pretty_print(module))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="r2r",
+        description="Rewrite to Reinforce: binary rewriting for "
+                    "fault-injection countermeasures")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_campaign_args(p):
+        p.add_argument("--good", required=True,
+                       help="good input (hex or text:...)")
+        p.add_argument("--bad", required=True,
+                       help="bad input (hex or text:...)")
+        p.add_argument("--marker", required=True,
+                       help="stdout marker of the privileged behaviour")
+        p.add_argument("--model", action="append",
+                       default=None, choices=["skip", "bitflip",
+                                              "stuck0"],
+                       help="fault model(s); default: skip")
+
+    fault = sub.add_parser("fault", help="run fault campaigns")
+    fault.add_argument("target")
+    add_campaign_args(fault)
+    fault.set_defaults(func=_cmd_fault)
+
+    harden = sub.add_parser("harden", help="harden a binary")
+    harden.add_argument("target")
+    harden.add_argument("-o", "--output", required=True)
+    harden.add_argument("--approach", default="faulter+patcher",
+                        choices=["faulter+patcher", "hybrid"])
+    add_campaign_args(harden)
+    harden.set_defaults(func=_cmd_harden)
+
+    demo = sub.add_parser("demo", help="harden a bundled case study")
+    demo.add_argument("case", choices=["pincheck", "bootloader"])
+    demo.add_argument("--approach", default="faulter+patcher",
+                      choices=["faulter+patcher", "hybrid"])
+    demo.add_argument("--rich", action="store_true",
+                      help="use the realistically sized variant")
+    demo.add_argument("--model", action="append", default=None,
+                      choices=["skip", "bitflip", "stuck0"])
+    demo.add_argument("-o", "--output")
+    demo.set_defaults(func=_cmd_demo)
+
+    run = sub.add_parser("run", help="run a binary in the emulator")
+    run.add_argument("target")
+    run.add_argument("--stdin", help="stdin bytes (hex or text:...)")
+    run.set_defaults(func=_cmd_run)
+
+    disasm = sub.add_parser("disasm",
+                            help="reassembleable disassembly to stdout")
+    disasm.add_argument("target")
+    disasm.add_argument("--mode", default="refined",
+                        choices=["refined", "naive"])
+    disasm.set_defaults(func=_cmd_disasm)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "model", None) is None and \
+            hasattr(args, "model"):
+        args.model = ["skip"]
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Patch-based detour rewriting (Section III-B's classic alternative).
+
+The oldest static rewriting scheme the paper surveys: replace the
+patched instruction(s) with an unconditional branch to a trampoline
+section that holds the instrumentation, the displaced instructions, and
+a branch back.  No symbolization or reassembly is needed — the original
+layout is untouched — but every patch point pays two control transfers,
+the "high performance degradation" the paper attributes to detouring.
+
+Implemented to make that comparison *measurable* (see the
+``test_ablation_detour_vs_reassembly`` benchmark): the same duplication
+countermeasure applied by detouring and by inline reassembly, compared
+on code size and dynamic instruction count.
+"""
+
+from repro.detour.rewriter import DetourRewriter, DetourStats
+
+__all__ = ["DetourRewriter", "DetourStats"]

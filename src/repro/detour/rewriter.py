@@ -1,0 +1,227 @@
+"""Patch-based detour instrumentation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.binfmt.image import Executable, Section, SymbolDef
+from repro.errors import DecodingError, RewriteError
+from repro.isa.decoder import decode
+from repro.isa.encoder import encode
+from repro.isa.insn import Instruction, Mnemonic
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import RIP
+
+JMP_REL32_LEN = 5
+NOP = 0x90
+PAGE = 0x1000
+
+
+@dataclass
+class DetourStats:
+    patched: int = 0
+    refused: int = 0
+    trampoline_bytes: int = 0
+
+
+class DetourRewriter:
+    """Applies patch-based detours to an executable in place.
+
+    Usage::
+
+        rewriter = DetourRewriter(exe)
+        rewriter.instrument(address, lambda displaced: [  # instrumentation
+            displaced[0].insn_copy...,
+        ])
+        hardened = rewriter.finish()
+
+    ``instrument`` callbacks receive the displaced instructions and
+    return the instrumentation instruction list executed *before* them
+    (the paper's trampoline order: instrumentation, replaced
+    instruction, branch back).
+    """
+
+    def __init__(self, exe: Executable):
+        self.exe = exe
+        text = exe.section(".text")
+        self.text_addr = text.addr
+        self.text = bytearray(text.data)
+        self.trampoline = bytearray()
+        self.trampoline_base = self._pick_trampoline_base()
+        self.stats = DetourStats()
+        self._branch_targets = self._collect_branch_targets()
+        self._patched_ranges: list[tuple[int, int]] = []
+
+    # -- public ------------------------------------------------------------
+
+    def instrument(self, address: int,
+                   instrumentation: Callable[[list[Instruction]],
+                                             list[Instruction]]) -> bool:
+        """Detour the instruction(s) starting at ``address``."""
+        displaced = self._displaced_window(address)
+        if displaced is None:
+            self.stats.refused += 1
+            return False
+        window_len = sum(i.length for i in displaced)
+        resume = address + window_len
+
+        entry = self.trampoline_base + len(self.trampoline)
+        body: list[bytes] = []
+        position = entry
+        for insn in instrumentation(displaced) + displaced:
+            code = self._reencode_at(insn, position)
+            body.append(code)
+            position += len(code)
+        # jmp back to the resume point
+        back = encode(Instruction(
+            Mnemonic.JMP, (Imm(resume - (position + JMP_REL32_LEN), 4),)))
+        body.append(back)
+        self.trampoline += b"".join(body)
+
+        # overwrite the original window: jmp trampoline + NOP padding
+        offset = address - self.text_addr
+        jump = encode(Instruction(
+            Mnemonic.JMP,
+            (Imm(entry - (address + JMP_REL32_LEN), 4),)))
+        patch = jump + bytes([NOP]) * (window_len - JMP_REL32_LEN)
+        self.text[offset:offset + window_len] = patch
+        self._patched_ranges.append((address, address + window_len))
+        self.stats.patched += 1
+        self.stats.trampoline_bytes = len(self.trampoline)
+        return True
+
+    def finish(self) -> Executable:
+        """Produce the instrumented executable (adds ``.detour``)."""
+        sections = []
+        for section in self.exe.sections:
+            if section.name == ".text":
+                sections.append(Section(
+                    ".text", section.addr, bytes(self.text),
+                    flags=section.flags))
+            else:
+                sections.append(section)
+        if self.trampoline:
+            sections.append(Section(
+                ".detour", self.trampoline_base, bytes(self.trampoline),
+                flags="rx"))
+        symbols = list(self.exe.symbols)
+        if self.trampoline:
+            symbols.append(SymbolDef("fi_detour", self.trampoline_base,
+                                     ".detour"))
+        return Executable(entry=self.exe.entry, sections=sections,
+                          symbols=symbols)
+
+    # -- internals -----------------------------------------------------------
+
+    def _pick_trampoline_base(self) -> int:
+        top = max(s.end for s in self.exe.sections)
+        return (top + PAGE - 1) // PAGE * PAGE + PAGE
+
+    def _collect_branch_targets(self) -> set[int]:
+        targets = set()
+        offset = 0
+        while offset < len(self.text):
+            try:
+                insn = decode(self.text, offset,
+                              self.text_addr + offset)
+            except DecodingError:
+                offset += 1
+                continue
+            target = insn.branch_target()
+            if target is not None:
+                targets.add(target)
+            offset += insn.length
+        return targets
+
+    def _displaced_window(self, address: int) -> Optional[list]:
+        """Instructions from ``address`` covering >= 5 bytes, if legal."""
+        if any(start <= address < end
+               for start, end in self._patched_ranges):
+            return None
+        displaced = []
+        position = address
+        while position - address < JMP_REL32_LEN:
+            offset = position - self.text_addr
+            if offset >= len(self.text):
+                return None
+            try:
+                insn = decode(self.text, offset, position)
+            except DecodingError:
+                return None
+            if insn.is_control_flow:
+                return None  # keep it simple: never displace branches
+            displaced.append(insn)
+            position += insn.length
+            # a branch target inside the window would jump into the
+            # middle of our patch bytes
+            if any(address < t < position for t in self._branch_targets):
+                return None
+        return displaced
+
+    def _reencode_at(self, insn: Instruction, new_address: int) -> bytes:
+        """Re-encode an instruction for a new location.
+
+        RIP-relative operands are re-based; everything else is
+        position-independent in the subset.
+        """
+        operands = []
+        changed = False
+        for operand in insn.operands:
+            if isinstance(operand, Mem) and operand.is_rip_relative:
+                if insn.address is None:
+                    raise RewriteError("cannot rebase unplaced insn")
+                target = insn.address + insn.length + operand.disp
+                # length may change with the new displacement; iterate
+                operands.append(("rip", operand, target))
+                changed = True
+            else:
+                operands.append(("keep", operand, None))
+        if not changed:
+            return insn.raw if insn.raw else encode(insn)
+        # fixpoint on the encoded length (disp32 is stable, so one pass)
+        new_ops = []
+        provisional = encode(insn.with_operands(*[
+            o if kind == "keep" else Mem(RIP, None, 1, 0, o.size)
+            for kind, o, _ in operands]))
+        length = len(provisional)
+        for kind, operand, target in operands:
+            if kind == "keep":
+                new_ops.append(operand)
+            else:
+                disp = target - (new_address + length)
+                new_ops.append(Mem(RIP, None, 1, disp, operand.size))
+        return encode(insn.with_operands(*new_ops))
+
+
+def duplicate_with_detours(exe: Executable) -> tuple[Executable,
+                                                     DetourStats]:
+    """Apply the duplication countermeasure via detours.
+
+    Every idempotent data instruction is displaced into a trampoline
+    that executes it twice — the detour-flavoured equivalent of the
+    inline duplication the patcher performs, used by the Section III-B
+    comparison benchmark.
+    """
+    from repro.patcher.patterns import _is_idempotent
+    from repro.gtirb.ir import InsnEntry
+
+    rewriter = DetourRewriter(exe)
+    text = exe.section(".text")
+    offset = 0
+    addresses = []
+    while offset < len(text.data):
+        try:
+            insn = decode(text.data, offset, text.addr + offset)
+        except DecodingError:
+            break
+        if not insn.is_control_flow and \
+                insn.mnemonic is not Mnemonic.SYSCALL and \
+                _is_idempotent(InsnEntry(insn)):
+            addresses.append(text.addr + offset)
+        offset += insn.length
+
+    for address in addresses:
+        rewriter.instrument(
+            address, lambda displaced: [displaced[0]])
+    return rewriter.finish(), rewriter.stats

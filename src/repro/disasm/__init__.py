@@ -1,0 +1,25 @@
+"""Ddisasm-style binary recovery: disassembly, symbolization, printing.
+
+``disassemble`` lifts an :class:`~repro.binfmt.image.Executable` into a
+:class:`~repro.gtirb.Module`; ``pretty_print`` turns a module back into
+assembly text that the repro assembler turns into a working binary —
+the "reassembleable disassembly" loop of Section III-B.
+
+Symbolization supports two modes, reproducing the Section III-C
+comparison:
+
+* ``naive`` — UROBOROS-style linear scan: any aligned machine word (or
+  in-range immediate) whose value lands in a mapped section becomes a
+  symbol+addend reference.  Fast, but address-looking constants are
+  falsely symbolized and break when the layout shifts.
+* ``refined`` — Ddisasm-style: code references must target recovered
+  instruction-block leaders, data references must target recognized
+  item starts; everything else stays a plain constant.
+"""
+
+from repro.disasm.recover import disassemble
+from repro.disasm.pprint import pretty_print
+from repro.disasm.functions import find_functions
+from repro.disasm.roundtrip import reassemble
+
+__all__ = ["disassemble", "pretty_print", "find_functions", "reassemble"]

@@ -1,0 +1,90 @@
+"""Direct module -> assembler-Program emission with provenance tags.
+
+The textual pretty-printer is kept for humans and round-trip tests; the
+rewriting loop uses this structured path instead, because the assembler
+can then report the final address of every :class:`InsnEntry` — the
+mapping the Faulter+Patcher iteration needs to translate fault addresses
+back to rewritable entries.
+"""
+
+from __future__ import annotations
+
+from repro.asm.source import (
+    AlignStmt, DataStmt, InsnStmt, LabelDef, Program, SpaceStmt)
+from repro.errors import RewriteError
+from repro.gtirb.ir import CodeBlock, Module, SymExpr
+from repro.isa.insn import Instruction
+from repro.isa.operands import Imm, Label, Mem
+from repro.isa.registers import RIP
+
+
+def module_to_program(module: Module) -> Program:
+    """Build an assembler Program from ``module`` (tags = InsnEntry)."""
+    program = Program()
+    if module.entry is None:
+        raise RewriteError("module has no entry symbol")
+    program.entry = module.entry.name
+    for symbol in module.symbols:
+        if symbol.is_global and not symbol.name.startswith("."):
+            program.globals.add(symbol.name)
+
+    labels: dict[int, list[str]] = {}
+    for symbol in module.symbols:
+        if symbol.referent is not None:
+            labels.setdefault(id(symbol.referent), []).append(symbol.name)
+
+    for section in module.sections:
+        items = program.items(section.name)
+        for block in section.blocks:
+            for name in sorted(labels.get(id(block), [])):
+                items.append(LabelDef(name))
+            if isinstance(block, CodeBlock):
+                for entry in block.entries:
+                    items.append(InsnStmt(
+                        _symbolic_instruction(entry), tag=entry))
+            else:
+                items.extend(_data_items(block))
+    return program
+
+
+def _symbolic_instruction(entry) -> Instruction:
+    """Replace operands covered by SymExprs with Label operands."""
+    if not entry.sym_operands:
+        return entry.insn
+    new_ops = []
+    for index, operand in enumerate(entry.insn.operands):
+        expr = entry.sym_operands.get(index)
+        if expr is None:
+            new_ops.append(operand)
+            continue
+        label = Label(expr.symbol.name, expr.addend)
+        if expr.kind in ("branch", "imm"):
+            new_ops.append(label)
+        elif expr.kind == "mem":
+            if not isinstance(operand, Mem):
+                raise RewriteError(
+                    f"mem expression on non-memory operand in {entry}")
+            base = RIP if operand.is_rip_relative else None
+            new_ops.append(Mem(base=base, disp=label, size=operand.size))
+        else:
+            raise RewriteError(f"unknown SymExpr kind {expr.kind!r}")
+    return entry.insn.with_operands(*new_ops)
+
+
+def _data_items(block) -> list:
+    if block.zero_fill:
+        return [SpaceStmt(block.zero_size)]
+    items: list = []
+    if block.address is not None and block.address % 8 == 0:
+        items.append(AlignStmt(8))
+    stmt = DataStmt([])
+    for item in block.items:
+        if isinstance(item, bytes):
+            stmt.parts.append(item)
+        else:
+            expr, size = item
+            if not isinstance(expr, SymExpr):
+                raise RewriteError(f"unexpected data item {item!r}")
+            stmt.parts.append((expr.symbol.name, expr.addend, size))
+    items.append(stmt)
+    return items

@@ -1,0 +1,104 @@
+"""Function boundary identification over a recovered module.
+
+Roots are the module entry and every direct call target; a function owns
+the blocks reachable from its root through branch/fallthrough edges
+without crossing into another root.  (The paper notes Rev.ng leans on
+code pointers for entry points — indirect call targets found during
+symbolization are added as roots too.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gtirb.cfg import build_cfg
+from repro.gtirb.ir import CodeBlock, Module, Symbol
+from repro.isa.insn import Mnemonic
+
+
+@dataclass
+class FunctionInfo:
+    """One recovered function."""
+
+    symbol: Symbol
+    entry_block: CodeBlock
+    blocks: list[CodeBlock] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.symbol.name
+
+    def instruction_count(self) -> int:
+        return sum(len(b.entries) for b in self.blocks)
+
+
+def find_functions(module: Module) -> list[FunctionInfo]:
+    """Partition code blocks into functions."""
+    cfg = build_cfg(module)
+    text_blocks = module.text().code_blocks()
+    if not text_blocks:
+        return []
+
+    roots: dict[int, CodeBlock] = {}
+
+    def add_root(block: CodeBlock):
+        roots.setdefault(block.uid, block)
+
+    if module.entry is not None and \
+            isinstance(module.entry.referent, CodeBlock):
+        add_root(module.entry.referent)
+    else:
+        add_root(text_blocks[0])
+    for block in text_blocks:
+        for entry in block.entries:
+            if entry.insn.mnemonic is not Mnemonic.CALL:
+                continue
+            expr = entry.sym_operands.get(0)
+            if expr is not None and isinstance(expr.symbol.referent,
+                                               CodeBlock):
+                add_root(expr.symbol.referent)
+    # data-held code pointers (e.g. function-pointer tables)
+    for section in module.sections:
+        if section.name == ".text":
+            continue
+        for block in section.blocks:
+            if block.is_code:
+                continue
+            for item in block.items:
+                if isinstance(item, tuple) and len(item) == 2 and \
+                        hasattr(item[0], "symbol"):
+                    referent = item[0].symbol.referent
+                    if isinstance(referent, CodeBlock):
+                        add_root(referent)
+
+    owned: dict[int, int] = {}  # block uid -> root uid
+    functions: list[FunctionInfo] = []
+    for root in roots.values():
+        symbol = _symbol_for_root(module, root)
+        info = FunctionInfo(symbol, root)
+        functions.append(info)
+        stack = [root]
+        while stack:
+            block = stack.pop()
+            if block.uid in owned:
+                continue
+            if block.uid in roots and block is not root:
+                continue
+            owned[block.uid] = root.uid
+            info.blocks.append(block)
+            for edge in cfg.successors(block):
+                if edge.kind in ("fallthrough", "branch") and \
+                        edge.dst is not None:
+                    stack.append(edge.dst)
+    for info in functions:
+        info.blocks.sort(key=lambda b: (b.address is None,
+                                        b.address or b.uid))
+    return functions
+
+
+def _symbol_for_root(module: Module, root: CodeBlock) -> Symbol:
+    existing = module.symbols_for(root)
+    if existing:
+        named = [s for s in existing if not s.name.startswith(".")]
+        return (named or existing)[0]
+    return module.fresh_symbol("func", root)

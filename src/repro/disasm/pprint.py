@@ -1,0 +1,123 @@
+"""Pretty-printer: GTIRB module -> reassembleable assembly text.
+
+The output is consumed by ``repro.asm.assemble`` — symbolic expressions
+are rendered as labels, so the assembler's relocation machinery rebuilds
+every reference against the *new* layout (stage 4 of Fig. 1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import RewriteError
+from repro.gtirb.ir import CodeBlock, DataBlock, InsnEntry, Module, SymExpr
+from repro.isa.insn import Instruction, Mnemonic
+from repro.isa.operands import Imm, Mem, Reg
+
+_SIZE_NAMES = {1: "byte", 2: "word", 4: "dword", 8: "qword"}
+
+
+def pretty_print(module: Module) -> str:
+    """Render ``module`` as assembly source."""
+    lines = [f"# reassembleable disassembly of {module.name}"]
+    if module.entry is None:
+        raise RewriteError("module has no entry symbol")
+    lines.append(f".entry {module.entry.name}")
+    for symbol in module.symbols:
+        if symbol.is_global and not symbol.name.startswith("."):
+            lines.append(f".global {symbol.name}")
+
+    labels_of = _labels_by_block(module)
+    for section in module.sections:
+        lines.append("")
+        lines.append(f".section {section.name}")
+        for block in section.blocks:
+            for name in labels_of.get(id(block), []):
+                lines.append(f"{name}:")
+            if isinstance(block, CodeBlock):
+                for entry in block.entries:
+                    lines.append(f"    {render_instruction(entry)}")
+            else:
+                lines.extend(_render_data(block))
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _labels_by_block(module: Module) -> dict[int, list[str]]:
+    table: dict[int, list[str]] = {}
+    for symbol in module.symbols:
+        if symbol.referent is not None:
+            table.setdefault(id(symbol.referent), []).append(symbol.name)
+    for names in table.values():
+        names.sort()
+    return table
+
+
+# ---------------------------------------------------------------------------
+
+
+def render_instruction(entry: InsnEntry) -> str:
+    """Assembly text for one instruction, honoring symbolic operands."""
+    insn = entry.insn
+    name = insn.name
+    if insn.mnemonic is Mnemonic.MOV and len(insn.operands) == 2 and \
+            isinstance(insn.operands[1], Imm) and \
+            insn.operands[1].size == 8 and 1 not in entry.sym_operands:
+        name = "movabs"
+    if not insn.operands:
+        return name
+    rendered = []
+    for index, operand in enumerate(insn.operands):
+        expr = entry.sym_operands.get(index)
+        if expr is None:
+            rendered.append(_render_plain(operand))
+        else:
+            rendered.append(_render_symbolic(operand, expr))
+    return f"{name} {', '.join(rendered)}"
+
+
+def _render_plain(operand) -> str:
+    if isinstance(operand, Reg):
+        return operand.register.name
+    if isinstance(operand, Imm):
+        return str(operand.value)
+    if isinstance(operand, Mem):
+        if operand.is_rip_relative:
+            raise RewriteError(
+                f"cannot print unsymbolized RIP-relative operand {operand}")
+        return str(operand)  # Mem.__str__ is parseable Intel syntax
+    raise RewriteError(f"cannot print operand {operand!r}")
+
+
+def _render_symbolic(operand, expr: SymExpr) -> str:
+    if expr.kind == "branch":
+        return str(expr)
+    if expr.kind == "imm":
+        return f"offset {expr}"
+    if expr.kind == "mem":
+        if not isinstance(operand, Mem):
+            raise RewriteError(f"mem expression on non-memory {operand!r}")
+        size = _SIZE_NAMES[operand.size]
+        if operand.is_rip_relative:
+            return f"{size} ptr [rel {expr}]"
+        return f"{size} ptr [{expr}]"
+    raise RewriteError(f"unknown SymExpr kind {expr.kind!r}")
+
+
+def _render_data(block: DataBlock) -> list[str]:
+    lines = []
+    if block.zero_fill:
+        lines.append(f"    .zero {block.zero_size}")
+        return lines
+    if block.address is not None and block.address % 8 == 0:
+        lines.insert(0, "    .align 8")
+    for item in block.items:
+        if isinstance(item, bytes):
+            for start in range(0, len(item), 12):
+                chunk = item[start:start + 12]
+                values = ", ".join(f"{b:#04x}" for b in chunk)
+                lines.append(f"    .byte {values}")
+        else:
+            expr, size = item
+            directive = {8: ".quad", 4: ".long", 2: ".word",
+                         1: ".byte"}[size]
+            lines.append(f"    {directive} {expr}")
+    return lines

@@ -1,0 +1,27 @@
+"""Reassembly: module -> assembly -> executable (stage 3-4 glue)."""
+
+from __future__ import annotations
+
+from repro.asm import assemble
+from repro.binfmt.image import Executable
+from repro.disasm.pprint import pretty_print
+from repro.gtirb.ir import Module
+
+
+def reassemble(module: Module) -> Executable:
+    """Pretty-print ``module`` and assemble it into a fresh executable."""
+    return assemble(pretty_print(module))
+
+
+def rewrite(exe: Executable, transform=None, mode: str = "refined"):
+    """Disassemble -> optional transform -> reassemble.
+
+    ``transform`` receives the recovered module and may mutate it;
+    returns the rewritten executable.
+    """
+    from repro.disasm.recover import disassemble
+
+    module = disassemble(exe, mode=mode)
+    if transform is not None:
+        transform(module)
+    return reassemble(module)

@@ -1,0 +1,21 @@
+"""CPU emulator for the x86-64 subset (Qiling/Unicorn substitute).
+
+The paper implements its faulter "in Python using the Qiling binary
+emulator package".  This package provides the equivalent: load an ELF
+image, execute it deterministically with byte-accurate RFLAGS
+semantics, record instruction traces, and let a fault model perturb one
+dynamic instruction (skip it, or substitute mutated encoding bytes).
+
+The paper forks each fault simulation; :class:`~repro.emu.memory.Memory`
+instead offers a write journal so a campaign can snapshot CPU state at
+the fault point and undo all memory effects afterwards — same effect,
+no OS fork.
+"""
+
+from repro.emu.machine import Machine, RunResult, run_executable
+from repro.emu.cpu import CPU
+from repro.emu.memory import Memory
+from repro.emu.flagops import Flags
+
+__all__ = ["Machine", "RunResult", "run_executable", "CPU", "Memory",
+           "Flags"]

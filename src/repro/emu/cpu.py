@@ -1,0 +1,335 @@
+"""CPU execution engine for the x86-64 subset."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.emu.flagops import Flags
+from repro.emu.memory import Memory
+from repro.errors import EmulationError, GuestCrash, InvalidOpcode
+from repro.isa.insn import Instruction, Mnemonic
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import RIP
+
+_RSP = 4  # hardware code of rsp
+_MASK64 = (1 << 64) - 1
+
+
+class Halt(EmulationError):
+    """Raised by ``hlt`` to stop the machine."""
+
+
+class ExitProgram(Exception):
+    """Raised by the exit syscall; carries the guest exit code."""
+
+    def __init__(self, code: int):
+        super().__init__(f"guest exited with code {code}")
+        self.code = code
+
+
+class CPU:
+    """Architectural state + instruction execution.
+
+    Registers are stored as unsigned 64-bit integers indexed by hardware
+    code.  Sub-register semantics follow x86-64: 32-bit writes zero the
+    upper half, 8-bit writes preserve the remaining bits.
+    """
+
+    __slots__ = ("regs", "rip", "flags", "memory", "syscall_handler")
+
+    def __init__(self, memory: Memory):
+        self.regs = [0] * 16
+        self.rip = 0
+        self.flags = Flags()
+        self.memory = memory
+        self.syscall_handler: Optional[Callable[["CPU"], None]] = None
+
+    # -- register access ---------------------------------------------------
+
+    def read_reg(self, register) -> int:
+        value = self.regs[register.code]
+        size = register.size
+        if size == 8:
+            return value
+        if size == 4:
+            return value & 0xFFFFFFFF
+        return value & 0xFF
+
+    def write_reg(self, register, value: int):
+        size = register.size
+        if size == 8:
+            self.regs[register.code] = value & _MASK64
+        elif size == 4:
+            self.regs[register.code] = value & 0xFFFFFFFF
+        else:
+            old = self.regs[register.code]
+            self.regs[register.code] = (old & ~0xFF) | (value & 0xFF)
+
+    # -- operand access ------------------------------------------------------
+
+    def effective_address(self, mem: Mem, insn: Instruction) -> int:
+        if mem.is_rip_relative:
+            return (insn.address + insn.length + mem.disp) & _MASK64
+        address = mem.disp
+        if mem.base is not None:
+            address += self.regs[mem.base.code]
+        if mem.index is not None:
+            address += self.regs[mem.index.code] * mem.scale
+        return address & _MASK64
+
+    def read_operand(self, operand, insn: Instruction, width: int) -> int:
+        if isinstance(operand, Reg):
+            return self.read_reg(operand.register)
+        if isinstance(operand, Imm):
+            return operand.value & ((1 << (width * 8)) - 1)
+        address = self.effective_address(operand, insn)
+        data = self.memory.read(address, operand.size)
+        return int.from_bytes(data, "little")
+
+    def write_operand(self, operand, insn: Instruction, value: int):
+        if isinstance(operand, Reg):
+            self.write_reg(operand.register, value)
+            return
+        address = self.effective_address(operand, insn)
+        size = operand.size
+        self.memory.write(address,
+                          (value & ((1 << (size * 8)) - 1)).to_bytes(
+                              size, "little"))
+
+    # -- stack helpers -----------------------------------------------------
+
+    def push64(self, value: int):
+        rsp = (self.regs[_RSP] - 8) & _MASK64
+        self.regs[_RSP] = rsp
+        self.memory.write(rsp, (value & _MASK64).to_bytes(8, "little"))
+
+    def pop64(self) -> int:
+        rsp = self.regs[_RSP]
+        value = int.from_bytes(self.memory.read(rsp, 8), "little")
+        self.regs[_RSP] = (rsp + 8) & _MASK64
+        return value
+
+    # -- execution ------------------------------------------------------------
+
+    def execute(self, insn: Instruction):
+        """Execute one decoded instruction; updates ``rip``."""
+        self.rip = insn.address + insn.length
+        handler = _DISPATCH.get(insn.mnemonic)
+        if handler is None:
+            raise InvalidOpcode(f"no handler for {insn.mnemonic}")
+        handler(self, insn)
+
+
+def _op_bits(operand) -> int:
+    return operand.size * 8
+
+
+def _width_of(insn: Instruction) -> int:
+    """Width in bytes of the sized operand(s)."""
+    for operand in insn.operands:
+        if isinstance(operand, (Reg, Mem)):
+            return operand.size
+    return 8
+
+
+def _exec_mov(cpu: CPU, insn: Instruction):
+    dst, src = insn.operands
+    width = dst.size if isinstance(dst, (Reg, Mem)) else 8
+    cpu.write_operand(dst, insn, cpu.read_operand(src, insn, width))
+
+
+def _exec_movzx(cpu: CPU, insn: Instruction):
+    dst, src = insn.operands
+    cpu.write_operand(dst, insn, cpu.read_operand(src, insn, 1) & 0xFF)
+
+
+def _exec_lea(cpu: CPU, insn: Instruction):
+    dst, src = insn.operands
+    cpu.write_operand(dst, insn, cpu.effective_address(src, insn))
+
+
+def _alu(op_name):
+    def handler(cpu: CPU, insn: Instruction):
+        dst, src = insn.operands
+        width = _width_of(insn)
+        bits = width * 8
+        a = cpu.read_operand(dst, insn, width)
+        b = cpu.read_operand(src, insn, width)
+        flags = cpu.flags
+        if op_name == "add":
+            result = flags.set_add(a, b, bits)
+        elif op_name == "sub" or op_name == "cmp":
+            result = flags.set_sub(a, b, bits)
+        elif op_name == "and" or op_name == "test":
+            result = a & b
+            flags.set_logic_result(result, bits)
+        elif op_name == "or":
+            result = a | b
+            flags.set_logic_result(result, bits)
+        elif op_name == "xor":
+            result = a ^ b
+            flags.set_logic_result(result, bits)
+        else:  # imul
+            result = flags.set_imul(a, b, bits)
+        if op_name not in ("cmp", "test"):
+            cpu.write_operand(dst, insn, result)
+    return handler
+
+
+def _unary(op_name):
+    def handler(cpu: CPU, insn: Instruction):
+        (dst,) = insn.operands
+        width = _width_of(insn)
+        bits = width * 8
+        a = cpu.read_operand(dst, insn, width)
+        flags = cpu.flags
+        if op_name == "inc":
+            result = flags.set_inc(a, bits)
+        elif op_name == "dec":
+            result = flags.set_dec(a, bits)
+        elif op_name == "neg":
+            result = flags.set_neg(a, bits)
+        else:  # not -- no flag effects
+            result = (~a) & ((1 << bits) - 1)
+        cpu.write_operand(dst, insn, result)
+    return handler
+
+
+def _shift(op_name):
+    def handler(cpu: CPU, insn: Instruction):
+        dst, amount = insn.operands
+        width = _width_of(insn)
+        bits = width * 8
+        a = cpu.read_operand(dst, insn, width)
+        count = cpu.read_operand(amount, insn, 1) & 0xFF
+        flags = cpu.flags
+        if op_name == "shl":
+            result = flags.set_shl(a, count, bits)
+        elif op_name == "shr":
+            result = flags.set_shr(a, count, bits)
+        else:
+            result = flags.set_sar(a, count, bits)
+        cpu.write_operand(dst, insn, result)
+    return handler
+
+
+def _exec_push(cpu: CPU, insn: Instruction):
+    (src,) = insn.operands
+    value = cpu.read_operand(src, insn, 8)
+    if isinstance(src, Imm):
+        value &= _MASK64  # sign-extended to 64 bits
+        if src.value < 0:
+            value = src.value & _MASK64
+    cpu.push64(value)
+
+
+def _exec_pop(cpu: CPU, insn: Instruction):
+    (dst,) = insn.operands
+    cpu.write_operand(dst, insn, cpu.pop64())
+
+
+def _exec_pushfq(cpu: CPU, insn: Instruction):
+    cpu.push64(cpu.flags.to_rflags())
+
+
+def _exec_popfq(cpu: CPU, insn: Instruction):
+    cpu.flags.from_rflags(cpu.pop64())
+
+
+def _branch_target(cpu: CPU, insn: Instruction) -> int:
+    (target,) = insn.operands
+    if isinstance(target, Imm):
+        return (insn.address + insn.length + target.value) & _MASK64
+    return cpu.read_operand(target, insn, 8)
+
+
+def _exec_jmp(cpu: CPU, insn: Instruction):
+    cpu.rip = _branch_target(cpu, insn)
+
+
+def _exec_jcc(cpu: CPU, insn: Instruction):
+    if insn.cond.evaluate(cpu.flags):
+        cpu.rip = _branch_target(cpu, insn)
+
+
+def _exec_call(cpu: CPU, insn: Instruction):
+    target = _branch_target(cpu, insn)
+    cpu.push64(insn.address + insn.length)
+    cpu.rip = target
+
+
+def _exec_ret(cpu: CPU, insn: Instruction):
+    cpu.rip = cpu.pop64()
+
+
+def _exec_setcc(cpu: CPU, insn: Instruction):
+    (dst,) = insn.operands
+    cpu.write_operand(dst, insn, 1 if insn.cond.evaluate(cpu.flags) else 0)
+
+
+def _exec_cmovcc(cpu: CPU, insn: Instruction):
+    dst, src = insn.operands
+    if insn.cond.evaluate(cpu.flags):
+        cpu.write_operand(dst, insn, cpu.read_operand(src, insn, dst.size))
+    elif dst.size == 4:
+        # 32-bit cmov zero-extends the destination even when not taken
+        cpu.write_reg(dst.register, cpu.read_reg(dst.register))
+
+
+def _exec_nop(cpu: CPU, insn: Instruction):
+    pass
+
+
+def _exec_hlt(cpu: CPU, insn: Instruction):
+    raise Halt("hlt executed")
+
+
+def _exec_int3(cpu: CPU, insn: Instruction):
+    raise GuestCrash("int3 breakpoint")
+
+
+def _exec_ud2(cpu: CPU, insn: Instruction):
+    raise InvalidOpcode("ud2 executed")
+
+
+def _exec_syscall(cpu: CPU, insn: Instruction):
+    if cpu.syscall_handler is None:
+        raise GuestCrash("syscall with no handler installed")
+    cpu.syscall_handler(cpu)
+
+
+_DISPATCH = {
+    Mnemonic.MOV: _exec_mov,
+    Mnemonic.MOVZX: _exec_movzx,
+    Mnemonic.LEA: _exec_lea,
+    Mnemonic.ADD: _alu("add"),
+    Mnemonic.SUB: _alu("sub"),
+    Mnemonic.CMP: _alu("cmp"),
+    Mnemonic.AND: _alu("and"),
+    Mnemonic.OR: _alu("or"),
+    Mnemonic.XOR: _alu("xor"),
+    Mnemonic.TEST: _alu("test"),
+    Mnemonic.IMUL: _alu("imul"),
+    Mnemonic.INC: _unary("inc"),
+    Mnemonic.DEC: _unary("dec"),
+    Mnemonic.NEG: _unary("neg"),
+    Mnemonic.NOT: _unary("not"),
+    Mnemonic.SHL: _shift("shl"),
+    Mnemonic.SHR: _shift("shr"),
+    Mnemonic.SAR: _shift("sar"),
+    Mnemonic.PUSH: _exec_push,
+    Mnemonic.POP: _exec_pop,
+    Mnemonic.PUSHFQ: _exec_pushfq,
+    Mnemonic.POPFQ: _exec_popfq,
+    Mnemonic.JMP: _exec_jmp,
+    Mnemonic.JCC: _exec_jcc,
+    Mnemonic.CALL: _exec_call,
+    Mnemonic.RET: _exec_ret,
+    Mnemonic.SETCC: _exec_setcc,
+    Mnemonic.CMOVCC: _exec_cmovcc,
+    Mnemonic.NOP: _exec_nop,
+    Mnemonic.HLT: _exec_hlt,
+    Mnemonic.INT3: _exec_int3,
+    Mnemonic.UD2: _exec_ud2,
+    Mnemonic.SYSCALL: _exec_syscall,
+}

@@ -1,0 +1,186 @@
+"""Machine: ELF loading, the run loop, tracing and fault interception.
+
+This is the faulter's execution vehicle.  ``Machine.run`` supports:
+
+* instruction tracing (the list of executed instruction addresses, which
+  the faulter enumerates to place faults),
+* a single *fault intercept*: at dynamic step ``fault_step``, the fault
+  model may replace the fetched instruction (bit flip in the encoding)
+  or skip it entirely,
+* CPU/IO snapshotting which, combined with the memory write journal,
+  substitutes for the paper's per-fault ``fork()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.binfmt.image import Executable
+from repro.binfmt.reader import read_elf
+from repro.emu.cpu import CPU, ExitProgram, Halt
+from repro.emu.memory import Memory
+from repro.emu.syscalls import IOState, SyscallHandler
+from repro.errors import DecodingError, EmulationError
+from repro.isa.decoder import decode
+from repro.isa.insn import Instruction
+
+STACK_TOP = 0x7FFF_F000
+STACK_SIZE = 0x10000
+DEFAULT_MAX_STEPS = 200_000
+
+# Outcome reasons
+EXIT = "exit"
+HALT = "hlt"
+CRASH = "crash"
+MAX_STEPS = "max-steps"
+
+
+@dataclass
+class RunResult:
+    """Observable outcome of one guest execution."""
+
+    reason: str
+    exit_code: Optional[int] = None
+    stdout: bytes = b""
+    stderr: bytes = b""
+    steps: int = 0
+    crash_detail: str = ""
+    trace: list[int] = field(default_factory=list)
+
+    @property
+    def crashed(self) -> bool:
+        return self.reason in (CRASH, MAX_STEPS)
+
+    def behavior(self) -> tuple:
+        """The equality key the fault oracle compares runs with."""
+        return (self.reason, self.exit_code, bytes(self.stdout))
+
+    def __str__(self):
+        out = self.stdout.decode("latin-1", "replace").strip()
+        return (f"RunResult({self.reason}, code={self.exit_code}, "
+                f"steps={self.steps}, stdout={out!r})")
+
+
+# Type of a fault intercept: receives the decoded instruction at the
+# fault step, returns a replacement Instruction, or None to skip.
+FaultIntercept = Callable[[Instruction, CPU], Optional[Instruction]]
+
+
+class Machine:
+    """A loaded guest program ready to run."""
+
+    def __init__(self, image: Executable | bytes, stdin: bytes = b""):
+        if isinstance(image, (bytes, bytearray)):
+            image = read_elf(bytes(image))
+        self.image = image
+        self.memory = Memory()
+        for section in image.sections:
+            flags = section.flags
+            if section.nobits:
+                self.memory.map(section.addr, section.mem_size, flags)
+            else:
+                self.memory.load(section.addr, section.data, flags)
+                if section.mem_size > len(section.data):
+                    self.memory.map(section.addr + len(section.data),
+                                    section.mem_size - len(section.data),
+                                    flags)
+        self.memory.map(STACK_TOP - STACK_SIZE, STACK_SIZE, "rw")
+        self.io = IOState(stdin)
+        self.cpu = CPU(self.memory)
+        self.cpu.rip = image.entry
+        self.cpu.regs[4] = STACK_TOP - 0x1000  # rsp with headroom
+        self.cpu.syscall_handler = SyscallHandler(self.io)
+        self._decode_cache: dict[int, Instruction] = {}
+
+    # -- snapshot/restore (fork substitute) ------------------------------
+
+    def snapshot(self):
+        """Capture CPU + I/O state; pair with ``memory.journal_begin``."""
+        cpu = self.cpu
+        return (list(cpu.regs), cpu.rip, cpu.flags.copy(),
+                self.io.snapshot())
+
+    def restore(self, state):
+        regs, rip, flags, io_state = state
+        self.cpu.regs = list(regs)
+        self.cpu.rip = rip
+        self.cpu.flags = flags.copy()
+        self.io.restore(io_state)
+
+    # -- execution ---------------------------------------------------------
+
+    def fetch_decode(self, address: int) -> Instruction:
+        cached = self._decode_cache.get(address)
+        if cached is not None:
+            return cached
+        raw = self.memory.fetch(address, 15)
+        instruction = decode(raw, 0, address)
+        self._decode_cache[address] = instruction
+        return instruction
+
+    def run(self,
+            max_steps: int = DEFAULT_MAX_STEPS,
+            record_trace: bool = False,
+            fault_step: int = -1,
+            fault_intercept: Optional[FaultIntercept] = None,
+            fault_plan: Optional[dict] = None) -> RunResult:
+        """Run until exit/halt/crash or ``max_steps``.
+
+        When ``fault_intercept`` is given it is consulted exactly once,
+        at dynamic instruction index ``fault_step`` (0-based).
+        ``fault_plan`` generalizes this to multiple faults per run:
+        a ``{step: intercept}`` mapping (the paper notes the faulter is
+        parametric in "the number of faults injected per run").
+        """
+        cpu = self.cpu
+        trace: list[int] = []
+        steps = 0
+        reason, exit_code, detail = MAX_STEPS, None, ""
+        plan = dict(fault_plan) if fault_plan else {}
+        if fault_intercept is not None and fault_step >= 0:
+            plan[fault_step] = fault_intercept
+        try:
+            while steps < max_steps:
+                rip = cpu.rip
+                if record_trace:
+                    trace.append(rip)
+                try:
+                    instruction = self.fetch_decode(rip)
+                    intercept = plan.get(steps) if plan else None
+                    if intercept is not None:
+                        mutated = intercept(instruction, cpu)
+                        if mutated is None:
+                            # instruction-skip fault
+                            cpu.rip = rip + instruction.length
+                            steps += 1
+                            continue
+                        instruction = mutated
+                    cpu.execute(instruction)
+                except DecodingError as exc:
+                    raise EmulationError(f"invalid opcode at {rip:#x}: "
+                                         f"{exc}") from exc
+                steps += 1
+        except ExitProgram as exc:
+            reason, exit_code = EXIT, exc.code
+        except Halt:
+            reason = HALT
+        except EmulationError as exc:
+            reason, detail = CRASH, str(exc)
+        return RunResult(
+            reason=reason,
+            exit_code=exit_code,
+            stdout=bytes(self.io.stdout),
+            stderr=bytes(self.io.stderr),
+            steps=steps,
+            crash_detail=detail,
+            trace=trace,
+        )
+
+
+def run_executable(image: Executable | bytes, stdin: bytes = b"",
+                   max_steps: int = DEFAULT_MAX_STEPS,
+                   record_trace: bool = False) -> RunResult:
+    """One-shot convenience: load ``image`` and run it."""
+    machine = Machine(image, stdin=stdin)
+    return machine.run(max_steps=max_steps, record_trace=record_trace)

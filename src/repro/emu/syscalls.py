@@ -1,0 +1,87 @@
+"""Linux-ish syscall surface for guest programs.
+
+Supported: ``read`` (fd 0), ``write`` (fd 1/2), ``exit``/``exit_group``.
+Anything else returns ``-ENOSYS`` in ``rax``, like a real kernel.
+"""
+
+from __future__ import annotations
+
+from repro.emu.cpu import CPU, ExitProgram
+
+SYS_READ = 0
+SYS_WRITE = 1
+SYS_EXIT = 60
+SYS_EXIT_GROUP = 231
+
+_ENOSYS = 38
+_EBADF = 9
+_MASK64 = (1 << 64) - 1
+
+_RAX, _RCX, _RDX = 0, 1, 2
+_RSI, _RDI = 6, 7
+_R11 = 11
+
+
+class IOState:
+    """Guest I/O channels: byte-buffer stdin, captured stdout/stderr."""
+
+    def __init__(self, stdin: bytes = b""):
+        self.stdin = stdin
+        self.stdin_pos = 0
+        self.stdout = bytearray()
+        self.stderr = bytearray()
+
+    def snapshot(self) -> tuple[int, int, int]:
+        return self.stdin_pos, len(self.stdout), len(self.stderr)
+
+    def restore(self, state: tuple[int, int, int]):
+        self.stdin_pos, out_len, err_len = state
+        del self.stdout[out_len:]
+        del self.stderr[err_len:]
+
+
+class SyscallHandler:
+    """Dispatches the guest ``syscall`` instruction."""
+
+    def __init__(self, io: IOState):
+        self.io = io
+
+    def __call__(self, cpu: CPU):
+        number = cpu.regs[_RAX]
+        if number == SYS_READ:
+            result = self._read(cpu)
+        elif number == SYS_WRITE:
+            result = self._write(cpu)
+        elif number in (SYS_EXIT, SYS_EXIT_GROUP):
+            raise ExitProgram(cpu.regs[_RDI] & 0xFF)
+        else:
+            result = -_ENOSYS
+        cpu.regs[_RAX] = result & _MASK64
+        # Linux clobbers rcx (return RIP) and r11 (RFLAGS) on syscall.
+        cpu.regs[_RCX] = cpu.rip
+        cpu.regs[_R11] = cpu.flags.to_rflags()
+
+    def _read(self, cpu: CPU) -> int:
+        fd = cpu.regs[_RDI]
+        if fd != 0:
+            return -_EBADF
+        buf = cpu.regs[_RSI]
+        count = cpu.regs[_RDX]
+        data = self.io.stdin[self.io.stdin_pos:self.io.stdin_pos + count]
+        if data:
+            cpu.memory.write(buf, data)
+        self.io.stdin_pos += len(data)
+        return len(data)
+
+    def _write(self, cpu: CPU) -> int:
+        fd = cpu.regs[_RDI]
+        buf = cpu.regs[_RSI]
+        count = cpu.regs[_RDX]
+        data = cpu.memory.read(buf, count) if count else b""
+        if fd == 1:
+            self.io.stdout += data
+        elif fd == 2:
+            self.io.stderr += data
+        else:
+            return -_EBADF
+        return len(data)

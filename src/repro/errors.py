@@ -1,0 +1,71 @@
+"""Exception hierarchy shared across the repro package.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+catch library failures without swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class EncodingError(ReproError):
+    """An instruction cannot be encoded (unsupported form or operands)."""
+
+
+class DecodingError(ReproError):
+    """Bytes do not decode to a supported instruction.
+
+    The emulator maps this onto an *invalid opcode* fault, which the
+    faulter classifies as a crash outcome.
+    """
+
+
+class AsmError(ReproError):
+    """Assembly-source level error (syntax, unknown mnemonic, bad operand)."""
+
+
+class LinkError(ReproError):
+    """Symbol resolution or layout error while producing an executable."""
+
+
+class ElfError(ReproError):
+    """Malformed or unsupported ELF image."""
+
+
+class EmulationError(ReproError):
+    """Base class for guest runtime faults."""
+
+
+class MemoryFault(EmulationError):
+    """Out-of-bounds or permission-violating guest memory access."""
+
+    def __init__(self, address, size, kind):
+        super().__init__(f"memory fault: {kind} of {size} byte(s) at {address:#x}")
+        self.address = address
+        self.size = size
+        self.kind = kind
+
+
+class InvalidOpcode(EmulationError):
+    """The CPU fetched bytes that do not form a supported instruction."""
+
+
+class GuestCrash(EmulationError):
+    """Catch-all for guest termination that is neither exit nor success."""
+
+
+class LiftError(ReproError):
+    """The binary lifter cannot translate an instruction or CFG shape."""
+
+
+class LowerError(ReproError):
+    """The backend cannot lower an IR construct."""
+
+
+class IRError(ReproError):
+    """SSA IR construction or verification failure."""
+
+
+class RewriteError(ReproError):
+    """GTIRB-level rewriting failure (bad patch point, symbolization)."""

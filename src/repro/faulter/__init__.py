@@ -1,0 +1,37 @@
+"""The faulter: simulation-driven fault-injection vulnerability discovery.
+
+Implements Section IV-B.1 of the paper: run the target binary with the
+"bad" input, record the execution trace, then for every offset in that
+trace inject each fault a chosen fault model can express (skip the
+instruction, flip one encoding bit, ...) and observe whether the binary
+now exhibits the behaviour reserved for the "good" input — a
+*successful fault*.  Crashes and still-incorrect runs are ignored,
+exactly as the paper prescribes.
+"""
+
+from repro.faulter.models import (
+    FaultModel,
+    InstructionSkip,
+    SingleBitFlip,
+    StuckAtZeroByte,
+    model_by_name,
+    MODELS,
+)
+from repro.faulter.campaign import Fault, FaultOutcome, Faulter
+from repro.faulter.parallel import run_parallel_campaign
+from repro.faulter.report import CampaignReport, VulnerablePoint
+
+__all__ = [
+    "FaultModel",
+    "InstructionSkip",
+    "SingleBitFlip",
+    "StuckAtZeroByte",
+    "model_by_name",
+    "MODELS",
+    "Fault",
+    "FaultOutcome",
+    "Faulter",
+    "run_parallel_campaign",
+    "CampaignReport",
+    "VulnerablePoint",
+]

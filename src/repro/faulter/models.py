@@ -1,0 +1,114 @@
+"""Fault models.
+
+A fault model enumerates, per dynamic instruction, the concrete faults
+it can inject there, and knows how to apply one of them at the moment
+the instruction is about to execute.
+
+* :class:`InstructionSkip` — the classic glitch effect: the instruction
+  is fetched but never executed (PC advances past it).
+* :class:`SingleBitFlip` — one bit of the instruction *encoding* is
+  flipped during fetch.  The mutated bytes are re-decoded at the same
+  address: they may form a different valid instruction (possibly of a
+  different length, consuming following bytes — as on silicon) or an
+  invalid one, which crashes the run.
+* :class:`StuckAtZeroByte` — an extension model: one encoding byte reads
+  as zero (bus stuck-at), exercising multi-bit corruption.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.emu.cpu import CPU
+from repro.isa.decoder import decode
+from repro.isa.insn import Instruction
+
+
+class FaultModel:
+    """Base class for fault models."""
+
+    name = "abstract"
+
+    def variants(self, insn: Instruction) -> Sequence[tuple]:
+        """Concrete fault parameters injectable at ``insn``."""
+        raise NotImplementedError
+
+    def apply(self, insn: Instruction, cpu: CPU,
+              detail: tuple) -> Optional[Instruction]:
+        """Perform the fault.
+
+        Returns the replacement instruction to execute, or ``None`` for
+        "skip".  May raise :class:`~repro.errors.DecodingError`, which
+        the machine surfaces as an invalid-opcode crash.
+        """
+        raise NotImplementedError
+
+    def describe(self, detail: tuple) -> str:
+        return self.name
+
+
+class InstructionSkip(FaultModel):
+    """Skip exactly one dynamic instruction."""
+
+    name = "skip"
+
+    def variants(self, insn: Instruction) -> Sequence[tuple]:
+        return [()]
+
+    def apply(self, insn, cpu, detail):
+        return None
+
+    def describe(self, detail: tuple) -> str:
+        return "skip"
+
+
+class SingleBitFlip(FaultModel):
+    """Flip one bit of the instruction encoding during fetch."""
+
+    name = "bitflip"
+
+    def variants(self, insn: Instruction) -> Sequence[tuple]:
+        return [(bit,) for bit in range(len(insn.raw) * 8)]
+
+    def apply(self, insn, cpu, detail):
+        (bit,) = detail
+        raw = bytearray(cpu.memory.fetch(insn.address, 15))
+        raw[bit // 8] ^= 1 << (bit % 8)
+        return decode(bytes(raw), 0, insn.address)
+
+    def describe(self, detail: tuple) -> str:
+        return f"bitflip(bit={detail[0]})"
+
+
+class StuckAtZeroByte(FaultModel):
+    """One encoding byte reads as 0x00 (stuck-at-zero bus fault)."""
+
+    name = "stuck0"
+
+    def variants(self, insn: Instruction) -> Sequence[tuple]:
+        return [(index,) for index in range(len(insn.raw))]
+
+    def apply(self, insn, cpu, detail):
+        (index,) = detail
+        raw = bytearray(cpu.memory.fetch(insn.address, 15))
+        raw[index] = 0
+        return decode(bytes(raw), 0, insn.address)
+
+    def describe(self, detail: tuple) -> str:
+        return f"stuck0(byte={detail[0]})"
+
+
+MODELS: dict[str, FaultModel] = {
+    model.name: model
+    for model in (InstructionSkip(), SingleBitFlip(), StuckAtZeroByte())
+}
+
+
+def model_by_name(name: str) -> FaultModel:
+    """Look up a registered fault model (``skip``/``bitflip``/``stuck0``)."""
+    try:
+        return MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault model {name!r}; known: {sorted(MODELS)}"
+        ) from None

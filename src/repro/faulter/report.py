@@ -1,0 +1,89 @@
+"""Vulnerability reports produced by fault campaigns."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.faulter.campaign import Fault
+
+
+@dataclass
+class VulnerablePoint:
+    """A static instruction with at least one successful fault."""
+
+    address: int
+    mnemonic: str
+    faults: list["Fault"] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.faults)
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one faulter campaign (one binary x one fault model)."""
+
+    target: str
+    model: str
+    trace_length: int
+    total_faults: int
+    outcomes: Counter = field(default_factory=Counter)
+    successes: list["Fault"] = field(default_factory=list)
+    all_outcomes: list = field(default_factory=list)
+
+    @property
+    def vulnerable(self) -> bool:
+        return bool(self.successes)
+
+    def vulnerable_points(self) -> list[VulnerablePoint]:
+        """Successful faults grouped by static instruction address."""
+        by_address: dict[int, VulnerablePoint] = {}
+        for fault in self.successes:
+            point = by_address.get(fault.address)
+            if point is None:
+                point = VulnerablePoint(fault.address, fault.mnemonic)
+                by_address[fault.address] = point
+            point.faults.append(fault)
+        return sorted(by_address.values(), key=lambda p: p.address)
+
+    def vulnerable_addresses(self) -> list[int]:
+        return [point.address for point in self.vulnerable_points()]
+
+    def summary(self) -> str:
+        lines = [
+            f"fault campaign: target={self.target} model={self.model}",
+            f"  trace length       : {self.trace_length}",
+            f"  faults injected    : {self.total_faults}",
+        ]
+        for outcome in ("success", "crash", "ignored"):
+            lines.append(f"  {outcome:<19}: {self.outcomes.get(outcome, 0)}")
+        points = self.vulnerable_points()
+        lines.append(f"  vulnerable points  : {len(points)}")
+        for point in points:
+            details = ", ".join(f.describe() for f in point.faults[:4])
+            more = "" if point.count <= 4 else f", +{point.count - 4} more"
+            lines.append(
+                f"    {point.address:#x} {point.mnemonic:<8} "
+                f"{point.count:>3} fault(s): {details}{more}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "model": self.model,
+            "trace_length": self.trace_length,
+            "total_faults": self.total_faults,
+            "outcomes": dict(self.outcomes),
+            "vulnerable_points": [
+                {
+                    "address": point.address,
+                    "mnemonic": point.mnemonic,
+                    "fault_count": point.count,
+                }
+                for point in self.vulnerable_points()
+            ],
+        }

@@ -1,0 +1,148 @@
+"""Statistical fault injection with quantified error.
+
+Exhaustive single-bit-flip campaigns grow with trace length x encoding
+bits; the paper cites Leveugle et al., "Statistical fault injection:
+Quantified error and confidence" (DATE 2009) for the standard remedy:
+sample the fault space uniformly and report the success probability
+with a confidence interval, choosing the sample size for a target
+error margin (with finite-population correction).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.emu.machine import Machine
+from repro.faulter.campaign import SUCCESS, Faulter
+from repro.faulter.models import FaultModel, model_by_name
+
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+def z_score(confidence: float) -> float:
+    try:
+        return _Z[round(confidence, 2)]
+    except KeyError:
+        raise ValueError(
+            f"confidence must be one of {sorted(_Z)}") from None
+
+
+def required_samples(population: int, margin: float,
+                     confidence: float = 0.95, p: float = 0.5) -> int:
+    """Sample size for a target error margin (Leveugle et al., eq. 4).
+
+    ``n = N / (1 + e^2 (N-1) / (z^2 p (1-p)))`` — the finite-population
+    corrected size; with ``N -> inf`` this is the familiar
+    ``z^2 p(1-p) / e^2``.
+    """
+    if population <= 0:
+        return 0
+    z = z_score(confidence)
+    numerator = population
+    denominator = 1 + (margin ** 2) * (population - 1) / \
+        (z ** 2 * p * (1 - p))
+    return min(population, math.ceil(numerator / denominator))
+
+
+@dataclass
+class StatisticalEstimate:
+    """Sampled estimate of the successful-fault probability."""
+
+    model: str
+    population: int
+    samples: int
+    successes: int
+    crashes: int
+    confidence: float
+
+    @property
+    def point(self) -> float:
+        return self.successes / self.samples if self.samples else 0.0
+
+    @property
+    def margin(self) -> float:
+        """Half-width of the CI with finite-population correction."""
+        if not self.samples:
+            return 1.0
+        if self.samples >= self.population:
+            return 0.0  # complete census: no sampling error
+        z = z_score(self.confidence)
+        p = self.point
+        base = z * math.sqrt(max(p * (1 - p), 1e-12) / self.samples)
+        fpc = math.sqrt((self.population - self.samples)
+                        / (self.population - 1))
+        return base * fpc
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        return (max(0.0, self.point - self.margin),
+                min(1.0, self.point + self.margin))
+
+    def summary(self) -> str:
+        low, high = self.interval
+        return (f"statistical FI [{self.model}]: "
+                f"{self.successes}/{self.samples} successful "
+                f"(population {self.population}) -> "
+                f"p = {100 * self.point:.3f}% "
+                f"± {100 * self.margin:.3f}% "
+                f"@ {100 * self.confidence:.0f}% confidence "
+                f"[{100 * low:.3f}%, {100 * high:.3f}%]")
+
+
+def estimate_vulnerability(faulter: Faulter,
+                           model: FaultModel | str = "bitflip",
+                           margin: float = 0.02,
+                           confidence: float = 0.95,
+                           samples: int | None = None,
+                           seed: int = 0) -> StatisticalEstimate:
+    """Sample the fault space of ``faulter``'s bad-input trace.
+
+    ``samples`` overrides the Leveugle-sized default.  Sampling is
+    uniform over the (trace offset x fault variant) population and
+    deterministic for a given ``seed``.
+    """
+    if isinstance(model, str):
+        model = model_by_name(model)
+    trace = faulter.trace()
+    machine = Machine(faulter.image, stdin=faulter.bad_input)
+
+    variant_counts: list[int] = []
+    for address in trace:
+        insn = machine.fetch_decode(address)
+        variant_counts.append(len(model.variants(insn)))
+    cumulative: list[int] = []
+    total = 0
+    for count in variant_counts:
+        total += count
+        cumulative.append(total)
+    population = total
+    if samples is None:
+        samples = required_samples(population, margin, confidence)
+    samples = min(samples, population)
+
+    rng = random.Random(seed)
+    chosen = rng.sample(range(population), samples) if samples else []
+    cap = faulter.bad_baseline.steps * 2 + 256
+
+    successes = crashes = 0
+    import bisect
+    for flat_index in chosen:
+        step = bisect.bisect_right(cumulative, flat_index)
+        before = cumulative[step - 1] if step else 0
+        variant_index = flat_index - before
+        insn = machine.fetch_decode(trace[step])
+        detail = list(model.variants(insn))[variant_index]
+        runner = Machine(faulter.image, stdin=faulter.bad_input)
+        result = runner.run(
+            max_steps=cap, fault_step=step,
+            fault_intercept=lambda i, c, d=detail: model.apply(i, c, d))
+        outcome = faulter.classify(result)
+        if outcome == SUCCESS:
+            successes += 1
+        elif outcome == "crash":
+            crashes += 1
+    return StatisticalEstimate(
+        model=model.name, population=population, samples=samples,
+        successes=successes, crashes=crashes, confidence=confidence)

@@ -1,0 +1,32 @@
+"""GTIRB-like intermediate representation for binary rewriting.
+
+Models the parts of GrammaTech's GTIRB that the paper's patcher relies
+on: modules with sections, code/data blocks, symbols whose referents are
+blocks, and per-operand *symbolic expressions* that keep references
+valid when rewriting shifts the layout.  A CFG over code blocks supports
+the analyses and the Fig. 4/5 benches.
+"""
+
+from repro.gtirb.ir import (
+    CodeBlock,
+    DataBlock,
+    InsnEntry,
+    Module,
+    GSection,
+    SymExpr,
+    Symbol,
+)
+from repro.gtirb.cfg import CFG, Edge, build_cfg
+
+__all__ = [
+    "CodeBlock",
+    "DataBlock",
+    "InsnEntry",
+    "Module",
+    "GSection",
+    "SymExpr",
+    "Symbol",
+    "CFG",
+    "Edge",
+    "build_cfg",
+]

@@ -1,0 +1,178 @@
+"""Full-duplication strawman (the paper's >=300% baseline).
+
+"Duplicating every instruction, which is the go-to protection scheme
+against fault injection, implies at least 300% overhead in code size
+(since for each instruction, it will add another copy of the
+instruction and a comparison procedure between their results)."
+
+This module implements that scheme honestly at the machine level so the
+baseline binary still runs: idempotent instructions are re-executed
+into a dead scratch register and compared; non-idempotent ALU updates
+are computed twice into two scratch registers, compared, then committed.
+Instructions the scheme cannot duplicate (control flow, stack
+manipulation, system calls, or sites without enough dead registers) are
+left in place and counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.liveness import RegisterLiveness
+from repro.gtirb.ir import InsnEntry, Module
+from repro.isa.cond import Cond
+from repro.isa.insn import Instruction, Mnemonic
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import parent_gpr, reg, sub_register
+from repro.patcher.patcher import Patcher
+from repro.patcher.patterns import PatchBuilder, _operand_regs, _uses_rsp
+
+_DUPLICABLE_IDEMPOTENT = {Mnemonic.MOV, Mnemonic.LEA, Mnemonic.MOVZX,
+                          Mnemonic.SETCC, Mnemonic.CMP, Mnemonic.TEST}
+_DUPLICABLE_ALU = {Mnemonic.ADD, Mnemonic.SUB, Mnemonic.XOR, Mnemonic.AND,
+                   Mnemonic.OR, Mnemonic.IMUL, Mnemonic.INC, Mnemonic.DEC}
+
+RSP = reg("rsp")
+RBP = reg("rbp")
+
+
+@dataclass
+class DuplicationStats:
+    duplicated: int = 0
+    skipped: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.duplicated + self.skipped
+
+
+def duplicate_everything(module: Module) -> DuplicationStats:
+    """Apply the duplication scheme to every eligible instruction."""
+    patcher = Patcher(module)
+    stats = DuplicationStats()
+    targets = [
+        entry
+        for block in module.text().code_blocks()
+        for entry in list(block.entries)
+        if not entry.protected
+    ]
+    for entry in targets:
+        if _duplicate_entry(patcher, entry):
+            stats.duplicated += 1
+        else:
+            stats.skipped += 1
+    return stats
+
+
+def _duplicate_entry(patcher: Patcher, entry: InsnEntry) -> bool:
+    insn = entry.insn
+    mnemonic = insn.mnemonic
+    located = patcher._locate(entry)
+    if located is None:
+        return False
+    section, block, index = located
+    if _uses_rsp(entry):
+        return False
+
+    liveness = RegisterLiveness(patcher.module)
+    dead = liveness.dead_after(block, index)
+    dead = frozenset(r for r in dead if r not in (RSP, RBP))
+    used = set()
+    for operand in insn.operands:
+        used |= _operand_regs(operand)
+    scratch_candidates = sorted(
+        (r for r in dead if r not in used), key=lambda r: r.name)
+    flags_live = patcher.flag_liveness().live_after(block, index)
+    if flags_live:
+        # the verification compare would corrupt live flags
+        scratch_candidates = []
+
+    # registers that can be shadowed through a push/pop spill when no
+    # dead register is available (any GPR not touched by the insn)
+    from repro.isa.registers import all_gpr64
+    spillable = [r for r in all_gpr64()
+                 if r not in used and r not in (RSP, RBP)]
+
+    builder = PatchBuilder(patcher.module, patcher.ensure_faulthandler(),
+                           site=entry)
+    built = False
+    if mnemonic in _DUPLICABLE_IDEMPOTENT:
+        built = _duplicate_idempotent(builder, entry, scratch_candidates,
+                                      [] if flags_live else spillable)
+    elif mnemonic in _DUPLICABLE_ALU and not flags_live and \
+            len(scratch_candidates) >= 2:
+        built = _duplicate_alu(builder, entry, scratch_candidates)
+    if not built:
+        return False
+    patcher._splice(section, block, index, builder)
+    patcher._invalidate()
+    return True
+
+
+def _duplicate_idempotent(builder: PatchBuilder, entry: InsnEntry,
+                          scratch, spillable) -> bool:
+    """insn ; insn' (into a shadow register) ; compare ; verify."""
+    insn = entry.insn
+    builder.copy_original(entry)
+    dst = insn.operands[0] if insn.operands else None
+    if insn.mnemonic in (Mnemonic.CMP, Mnemonic.TEST):
+        builder.copy_original(entry)  # re-execution re-derives the flags
+        return True
+    shadow_reg = scratch[0] if scratch else None
+    spilled = False
+    if shadow_reg is None and spillable:
+        shadow_reg = spillable[0]
+        spilled = True
+    if isinstance(dst, Reg) and shadow_reg is not None and \
+            len(insn.operands) == 2:
+        shadow = Reg(sub_register(shadow_reg, dst.size))
+        if spilled:
+            builder.insn(Mnemonic.PUSH, Reg(shadow_reg))
+        duplicate = InsnEntry(
+            Instruction(insn.mnemonic, (shadow, insn.operands[1]),
+                        cond=insn.cond),
+            dict(entry.sym_operands), protected=True,
+            origin=entry.root_site())
+        builder.items.append(("insn", duplicate))
+        builder.insn(Mnemonic.CMP, dst, shadow)
+        ok = builder.module.fresh_symbol("fi_dup_ok", None)
+        builder.jump_to(ok, cond=Cond.E)
+        builder.call_faulthandler()
+        builder.items.append(("label", ok))
+        if spilled:
+            builder.insn(Mnemonic.POP, Reg(shadow_reg))
+        return True
+    builder.copy_original(entry)  # plain re-execution
+    return True
+
+
+def _duplicate_alu(builder: PatchBuilder, entry: InsnEntry,
+                   scratch) -> bool:
+    """Compute twice into scratches, compare, commit."""
+    insn = entry.insn
+    dst = insn.operands[0] if insn.operands else None
+    if not isinstance(dst, Reg) or dst.size != 8:
+        builder.copy_original(entry)  # e.g. memory destination: keep
+        return True
+    s1, s2 = Reg(scratch[0]), Reg(scratch[1])
+    syms = dict(entry.sym_operands)
+    source = insn.operands[1] if len(insn.operands) > 1 else None
+
+    def shadow_op(shadow: Reg):
+        builder.insn(Mnemonic.MOV, shadow, dst)
+        if source is not None:
+            builder.items.append(("insn", InsnEntry(
+                Instruction(insn.mnemonic, (shadow, source)),
+                syms, protected=True, origin=entry.root_site())))
+        else:
+            builder.insn(insn.mnemonic, shadow)
+
+    shadow_op(s1)
+    shadow_op(s2)
+    builder.insn(Mnemonic.CMP, s1, s2)
+    ok = builder.module.fresh_symbol("fi_dup_ok", None)
+    builder.jump_to(ok, cond=Cond.E)
+    builder.call_faulthandler()
+    builder.items.append(("label", ok))
+    builder.insn(Mnemonic.MOV, dst, s1)
+    return True

@@ -1,0 +1,182 @@
+"""End-to-end Hybrid hardening (Fig. 3, upper path)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.binfmt.image import Executable
+from repro.emu.machine import run_executable
+from repro.errors import ReproError
+from repro.faulter.campaign import Faulter
+from repro.faulter.report import CampaignReport
+from repro.hybrid.branch_harden import HardeningStats, harden_branches
+from repro.ir.passes.instcount import instruction_histogram
+from repro.ir.passes.pass_manager import standard_cleanup
+from repro.ir.verifier import verify
+from repro.lift.lifter import Lifter
+from repro.lower.pipeline import lower_module
+
+
+@dataclass
+class HybridResult:
+    """Outcome of the hybrid lift-harden-lower pipeline."""
+
+    hardened: Executable
+    lowered_unhardened: Executable
+    original_text_size: int
+    hardened_text_size: int
+    unhardened_lowered_size: int
+    hardening: HardeningStats = field(default_factory=HardeningStats)
+    ir_histogram_before: Counter = field(default_factory=Counter)
+    ir_histogram_after: Counter = field(default_factory=Counter)
+    final_reports: dict[str, CampaignReport] = field(default_factory=dict)
+
+    @property
+    def overhead_percent(self) -> float:
+        """Total code-size overhead vs the original binary (Table V)."""
+        return 100.0 * (self.hardened_text_size -
+                        self.original_text_size) / self.original_text_size
+
+    @property
+    def translation_overhead_percent(self) -> float:
+        """Overhead from lift+lower alone ("the mere act of lifting...
+        adds extra overhead", Section IV-D)."""
+        return 100.0 * (self.unhardened_lowered_size -
+                        self.original_text_size) / self.original_text_size
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (for CI dashboards / automation)."""
+        return {
+            "approach": "hybrid",
+            "original_text_size": self.original_text_size,
+            "hardened_text_size": self.hardened_text_size,
+            "overhead_percent": round(self.overhead_percent, 2),
+            "translation_overhead_percent": round(
+                self.translation_overhead_percent, 2),
+            "branches_hardened": self.hardening.branches_hardened,
+            "validation_blocks": self.hardening.validation_blocks,
+            "ir_delta": dict(self.ir_histogram_after
+                             - self.ir_histogram_before),
+            "final_reports": {
+                model: report.to_dict()
+                for model, report in self.final_reports.items()
+            },
+        }
+
+    def report(self) -> str:
+        lines = [
+            "Hybrid hardening report",
+            f"  text size: {self.original_text_size}B -> "
+            f"{self.hardened_text_size}B ({self.overhead_percent:+.2f}%)",
+            f"  of which lift+lower alone: "
+            f"{self.translation_overhead_percent:+.2f}%",
+            f"  branches hardened: {self.hardening.branches_hardened}",
+        ]
+        for model, report in self.final_reports.items():
+            lines.append(
+                f"  final[{model}]: "
+                f"{len(report.vulnerable_points())} vulnerable point(s)")
+        return "\n".join(lines)
+
+
+def hybrid_harden(exe: Executable,
+                  good_input: bytes,
+                  bad_input: bytes,
+                  grant_marker: bytes,
+                  name: str = "target",
+                  models: Sequence[str] = (),
+                  uid_seed: int = 0x9E3779B9,
+                  branch_filter=None,
+                  fold_constants: bool = True) -> HybridResult:
+    """Lift, harden conditional branches, lower, validate.
+
+    ``models`` optionally re-runs fault campaigns against the hardened
+    binary (reported in ``final_reports``).  ``fold_constants`` lets the
+    cleanup pipeline fold the pass's UID xor instructions into imm32
+    constants after the histograms are taken (the Table IV census is
+    measured on the unfolded form, as the paper reports it).
+    """
+    ir_module = Lifter(exe).lift()
+    standard_cleanup().run(ir_module)
+    function = ir_module.function("entry")
+    histogram_before = instruction_histogram(function)
+
+    # size of the lowered-but-unhardened translation (Section IV-D)
+    lowered_plain = lower_module(ir_module, exe)
+
+    stats = harden_branches(ir_module, uid_seed,
+                            branch_filter=branch_filter)
+    verify(ir_module)
+    histogram_after = instruction_histogram(function)
+    if fold_constants:
+        from repro.ir.passes.constfold import constant_fold
+        from repro.ir.passes.dce import dce
+        constant_fold(function)
+        dce(function)
+        verify(ir_module)
+
+    hardened = lower_module(ir_module, exe, trap_after_jmp=True)
+    _validate(hardened, exe, good_input, bad_input, grant_marker, name)
+
+    result = HybridResult(
+        hardened=hardened,
+        lowered_unhardened=lowered_plain,
+        original_text_size=exe.code_size(),
+        hardened_text_size=hardened.code_size(),
+        unhardened_lowered_size=lowered_plain.code_size(),
+        hardening=stats,
+        ir_histogram_before=histogram_before,
+        ir_histogram_after=histogram_after,
+    )
+    if models:
+        faulter = Faulter(hardened, good_input, bad_input, grant_marker,
+                          name=f"{name}-hybrid")
+        result.final_reports = {
+            m: faulter.run_campaign(m) for m in models}
+    return result
+
+
+def faulter_guided_filter(exe: Executable, good_input: bytes,
+                          bad_input: bytes, grant_marker: bytes,
+                          models: Sequence[str] = ("skip",)):
+    """Branch filter protecting only faulter-flagged code (future work).
+
+    The paper's conclusion proposes an iterative countermeasure
+    insertion for the Hybrid methodology; this helper runs the faulter
+    on the original binary and returns a ``branch_filter`` that hardens
+    only branches in guest blocks containing a vulnerable point.
+    """
+    from repro.disasm.recover import disassemble
+
+    faulter = Faulter(exe, good_input, bad_input, grant_marker)
+    module = disassemble(exe)
+    vulnerable_blocks: set[int] = set()
+    for model in models:
+        report = faulter.run_campaign(model)
+        for point in report.vulnerable_points():
+            _, block, _ = module.find_instruction(point.address)
+            vulnerable_blocks.add(block.address)
+
+    def branch_filter(block, terminator) -> bool:
+        name = block.name
+        if not name.startswith("g"):
+            return False
+        try:
+            address = int(name.split("_")[0][1:], 16)
+        except ValueError:
+            return False
+        return address in vulnerable_blocks
+
+    return branch_filter
+
+
+def _validate(hardened, original, good_input, bad_input, marker, name):
+    for label, stdin in (("good", good_input), ("bad", bad_input)):
+        want = run_executable(original, stdin=stdin)
+        got = run_executable(hardened, stdin=stdin)
+        if want.behavior() != got.behavior():
+            raise ReproError(
+                f"{name}: hybrid hardening changed {label}-input "
+                f"behaviour: {want} vs {got}")

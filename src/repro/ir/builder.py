@@ -1,0 +1,135 @@
+"""Convenience builder for IR construction."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import (
+    Alloca, BinOp, Br, Call, CondBr, ICmp, IntToPtr, Load, Phi, PtrToInt,
+    Ret, Select, SExt, Store, Switch, Trunc, Unreachable, ZExt)
+from repro.ir.module import BasicBlock, Function
+from repro.ir.types import I1, I64, IntType, VOID
+from repro.ir.values import Constant, Value
+
+
+class IRBuilder:
+    """Appends instructions at an insertion point."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+
+    def set_block(self, block: BasicBlock):
+        self.block = block
+
+    def _emit(self, instruction):
+        self.block.append(instruction)
+        return instruction
+
+    # -- constants ----------------------------------------------------------
+
+    @staticmethod
+    def const(vtype: IntType, value: int) -> Constant:
+        return Constant(vtype, value)
+
+    def i64(self, value: int) -> Constant:
+        return Constant(I64, value)
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def binop(self, op: str, lhs: Value, rhs: Value, name="") -> BinOp:
+        return self._emit(BinOp(op, lhs, rhs, name))
+
+    def add(self, lhs, rhs, name=""):
+        return self.binop("add", lhs, rhs, name)
+
+    def sub(self, lhs, rhs, name=""):
+        return self.binop("sub", lhs, rhs, name)
+
+    def mul(self, lhs, rhs, name=""):
+        return self.binop("mul", lhs, rhs, name)
+
+    def and_(self, lhs, rhs, name=""):
+        return self.binop("and", lhs, rhs, name)
+
+    def or_(self, lhs, rhs, name=""):
+        return self.binop("or", lhs, rhs, name)
+
+    def xor(self, lhs, rhs, name=""):
+        return self.binop("xor", lhs, rhs, name)
+
+    def shl(self, lhs, rhs, name=""):
+        return self.binop("shl", lhs, rhs, name)
+
+    def lshr(self, lhs, rhs, name=""):
+        return self.binop("lshr", lhs, rhs, name)
+
+    def ashr(self, lhs, rhs, name=""):
+        return self.binop("ashr", lhs, rhs, name)
+
+    def not_(self, value, name=""):
+        return self.xor(value, Constant(value.type, -1), name)
+
+    def icmp(self, pred: str, lhs, rhs, name="") -> ICmp:
+        return self._emit(ICmp(pred, lhs, rhs, name))
+
+    def select(self, cond, if_true, if_false, name="") -> Select:
+        return self._emit(Select(cond, if_true, if_false, name))
+
+    # -- casts -----------------------------------------------------------------
+
+    def zext(self, value, to_type, name="") -> Value:
+        if value.type == to_type:
+            return value
+        return self._emit(ZExt(value, to_type, name))
+
+    def sext(self, value, to_type, name="") -> Value:
+        if value.type == to_type:
+            return value
+        return self._emit(SExt(value, to_type, name))
+
+    def trunc(self, value, to_type, name="") -> Value:
+        if value.type == to_type:
+            return value
+        return self._emit(Trunc(value, to_type, name))
+
+    def inttoptr(self, value, name="") -> IntToPtr:
+        return self._emit(IntToPtr(value, name))
+
+    def ptrtoint(self, value, name="") -> PtrToInt:
+        return self._emit(PtrToInt(value, name))
+
+    # -- memory -----------------------------------------------------------------
+
+    def alloca(self, allocated_type, name="") -> Alloca:
+        return self._emit(Alloca(allocated_type, name))
+
+    def load(self, vtype, pointer, name="") -> Load:
+        return self._emit(Load(vtype, pointer, name))
+
+    def store(self, value, pointer) -> Store:
+        return self._emit(Store(value, pointer))
+
+    # -- control flow ---------------------------------------------------------
+
+    def br(self, target: BasicBlock) -> Br:
+        return self._emit(Br(target))
+
+    def condbr(self, cond, if_true, if_false) -> CondBr:
+        return self._emit(CondBr(cond, if_true, if_false))
+
+    def switch(self, value, default) -> Switch:
+        return self._emit(Switch(value, default))
+
+    def ret(self, value=None) -> Ret:
+        return self._emit(Ret(value))
+
+    def unreachable(self) -> Unreachable:
+        return self._emit(Unreachable())
+
+    def phi(self, vtype, name="") -> Phi:
+        phi = Phi(vtype, name)
+        self.block.insert(self.block.non_phi_index(), phi)
+        return phi
+
+    def call(self, vtype, callee: str, args=(), name="") -> Call:
+        return self._emit(Call(vtype, callee, args, name))

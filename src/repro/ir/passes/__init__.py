@@ -1,0 +1,12 @@
+"""IR optimization passes and the pass manager."""
+
+from repro.ir.passes.pass_manager import PassManager
+from repro.ir.passes.mem2reg import mem2reg
+from repro.ir.passes.dce import dce
+from repro.ir.passes.constfold import constant_fold
+from repro.ir.passes.simplifycfg import simplify_cfg
+from repro.ir.passes.instcount import instruction_histogram
+from repro.ir.passes.cse import cse
+
+__all__ = ["PassManager", "mem2reg", "dce", "constant_fold",
+           "simplify_cfg", "instruction_histogram", "cse"]

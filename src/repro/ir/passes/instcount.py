@@ -1,0 +1,31 @@
+"""Instruction histograms (the Table IV metric)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.ir.instructions import BinOp, ICmp
+from repro.ir.module import Function
+
+
+def instruction_histogram(function: Function) -> Counter:
+    """Count instructions by concrete opcode (binops by operator)."""
+    histogram: Counter = Counter()
+    for instruction in function.instructions():
+        if isinstance(instruction, BinOp):
+            histogram[instruction.op] += 1
+        elif isinstance(instruction, ICmp):
+            histogram["icmp"] += 1
+        else:
+            histogram[instruction.opcode] += 1
+    return histogram
+
+
+def histogram_delta(before: Counter, after: Counter) -> Counter:
+    """after - before, keeping negative entries."""
+    delta: Counter = Counter()
+    for key in set(before) | set(after):
+        diff = after.get(key, 0) - before.get(key, 0)
+        if diff:
+            delta[key] = diff
+    return delta

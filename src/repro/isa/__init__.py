@@ -1,0 +1,43 @@
+"""x86-64 subset ISA: registers, instructions, encoder, decoder.
+
+This package substitutes for the hardware ISA + capstone/keystone in the
+paper's toolchain.  It implements *real* x86-64 machine encodings
+(REX prefixes, ModRM/SIB bytes, displacements, immediates) for the
+subset of instructions the case studies and countermeasure patterns
+need, so that single-bit-flip faults on instruction bytes behave the way
+they would on silicon: a flipped bit either re-decodes into a different
+valid instruction or raises an invalid-opcode fault.
+"""
+
+from repro.isa.registers import (
+    Register,
+    RIP,
+    reg,
+    gpr64,
+    sub_register,
+    parent_gpr,
+)
+from repro.isa.cond import Cond
+from repro.isa.operands import Imm, Mem, Reg, Label, Operand
+from repro.isa.insn import Instruction, Mnemonic
+from repro.isa.encoder import encode
+from repro.isa.decoder import decode
+
+__all__ = [
+    "Register",
+    "RIP",
+    "reg",
+    "gpr64",
+    "sub_register",
+    "parent_gpr",
+    "Cond",
+    "Imm",
+    "Mem",
+    "Reg",
+    "Label",
+    "Operand",
+    "Instruction",
+    "Mnemonic",
+    "encode",
+    "decode",
+]

@@ -1,0 +1,97 @@
+"""Condition codes shared by ``j<cc>``, ``set<cc>`` and ``cmov<cc>``.
+
+The 4-bit ``code`` is the hardware condition encoding appended to the
+opcode bases (``0F 80+cc`` for jumps, ``0F 90+cc`` for setcc).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Cond(enum.Enum):
+    """x86 condition code with its hardware encoding."""
+
+    O = 0x0     # overflow
+    NO = 0x1    # not overflow
+    B = 0x2     # below (CF=1)
+    AE = 0x3    # above or equal (CF=0)
+    E = 0x4     # equal (ZF=1)
+    NE = 0x5    # not equal (ZF=0)
+    BE = 0x6    # below or equal (CF=1 or ZF=1)
+    A = 0x7     # above (CF=0 and ZF=0)
+    S = 0x8     # sign (SF=1)
+    NS = 0x9    # not sign (SF=0)
+    P = 0xA     # parity (PF=1)
+    NP = 0xB    # not parity (PF=0)
+    L = 0xC     # less (SF!=OF)
+    GE = 0xD    # greater or equal (SF=OF)
+    LE = 0xE    # less or equal (ZF=1 or SF!=OF)
+    G = 0xF     # greater (ZF=0 and SF=OF)
+
+    @property
+    def inverted(self) -> "Cond":
+        """The complementary condition (flip the low encoding bit)."""
+        return Cond(self.value ^ 1)
+
+    @property
+    def suffix(self) -> str:
+        """Assembly suffix, e.g. ``"ne"`` for :attr:`Cond.NE`."""
+        return self.name.lower()
+
+    def evaluate(self, flags: "object") -> bool:
+        """Evaluate the condition against a flags provider.
+
+        ``flags`` must expose boolean attributes ``cf``, ``zf``, ``sf``,
+        ``of``, ``pf`` (the emulator's flags object satisfies this).
+        """
+        base = self.value & ~1
+        if base == 0x0:
+            result = flags.of
+        elif base == 0x2:
+            result = flags.cf
+        elif base == 0x4:
+            result = flags.zf
+        elif base == 0x6:
+            result = flags.cf or flags.zf
+        elif base == 0x8:
+            result = flags.sf
+        elif base == 0xA:
+            result = flags.pf
+        elif base == 0xC:
+            result = flags.sf != flags.of
+        else:  # 0xE
+            result = flags.zf or (flags.sf != flags.of)
+        if self.value & 1:
+            result = not result
+        return result
+
+
+_BY_SUFFIX = {cond.suffix: cond for cond in Cond}
+# Common aliases accepted by assemblers.
+_BY_SUFFIX.update(
+    {
+        "z": Cond.E,
+        "nz": Cond.NE,
+        "c": Cond.B,
+        "nc": Cond.AE,
+        "nae": Cond.B,
+        "nb": Cond.AE,
+        "na": Cond.BE,
+        "nbe": Cond.A,
+        "pe": Cond.P,
+        "po": Cond.NP,
+        "nge": Cond.L,
+        "nl": Cond.GE,
+        "ng": Cond.LE,
+        "nle": Cond.G,
+    }
+)
+
+
+def cond_from_suffix(suffix: str) -> Cond:
+    """Parse an assembly condition suffix (``"e"``, ``"nz"``, ...)."""
+    try:
+        return _BY_SUFFIX[suffix.lower()]
+    except KeyError:
+        raise KeyError(f"unknown condition suffix: {suffix!r}") from None

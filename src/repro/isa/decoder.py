@@ -1,0 +1,391 @@
+"""Instruction decoder: bytes -> :class:`~repro.isa.insn.Instruction`.
+
+The decoder is deliberately tolerant of encodings our encoder never
+emits (rel8 jumps, ``B0+rd`` byte moves, shift-by-one forms, ...): a
+single-bit-flip fault can turn one valid encoding into another, and the
+emulator must execute whatever the mutated bytes mean — exactly like
+hardware.  Bytes that fall outside the supported subset raise
+:class:`~repro.errors.DecodingError`, which the emulator surfaces as an
+invalid-opcode crash.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import DecodingError
+from repro.isa.cond import Cond
+from repro.isa.insn import Instruction, Mnemonic
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import RIP, by_code
+
+_GRP1 = {0: Mnemonic.ADD, 1: Mnemonic.OR, 4: Mnemonic.AND,
+         5: Mnemonic.SUB, 6: Mnemonic.XOR, 7: Mnemonic.CMP}
+_SHIFT = {4: Mnemonic.SHL, 5: Mnemonic.SHR, 7: Mnemonic.SAR}
+_ALU_BY_BASE = {0x00: Mnemonic.ADD, 0x08: Mnemonic.OR, 0x20: Mnemonic.AND,
+                0x28: Mnemonic.SUB, 0x30: Mnemonic.XOR, 0x38: Mnemonic.CMP}
+
+
+@dataclass
+class _Cursor:
+    """Byte cursor over the instruction stream."""
+
+    data: bytes
+    pos: int
+
+    def u8(self) -> int:
+        if self.pos >= len(self.data):
+            raise DecodingError("truncated instruction")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def i8(self) -> int:
+        return struct.unpack("<b", bytes([self.u8()]))[0]
+
+    def i32(self) -> int:
+        raw = self.take(4)
+        return struct.unpack("<i", raw)[0]
+
+    def u64(self) -> int:
+        raw = self.take(8)
+        return struct.unpack("<Q", raw)[0]
+
+    def take(self, count: int) -> bytes:
+        if self.pos + count > len(self.data):
+            raise DecodingError("truncated instruction")
+        raw = self.data[self.pos:self.pos + count]
+        self.pos += count
+        return raw
+
+
+class _Rex:
+    """Decoded REX prefix state."""
+
+    def __init__(self, byte: int | None):
+        self.present = byte is not None
+        byte = byte or 0
+        self.w = bool(byte & 0x8)
+        self.r = bool(byte & 0x4)
+        self.x = bool(byte & 0x2)
+        self.b = bool(byte & 0x1)
+
+
+def _reg_for(code: int, size: int, rex: _Rex) -> Reg:
+    """Map a ModRM register code to a register view.
+
+    In 8-bit context codes 4-7 without REX denote the legacy high-byte
+    registers, which are outside the subset.
+    """
+    if size == 1 and not rex.present and 4 <= code <= 7:
+        raise DecodingError("legacy high-byte register not supported")
+    return Reg(by_code(code, size))
+
+
+def _decode_modrm(cur: _Cursor, rex: _Rex, size: int):
+    """Decode ModRM (+SIB +disp).  Returns ``(reg_field, rm_operand)``."""
+    modrm = cur.u8()
+    mod = modrm >> 6
+    reg_field = ((modrm >> 3) & 7) | (8 if rex.r else 0)
+    rm_bits = modrm & 7
+    if mod == 0b11:
+        rm_code = rm_bits | (8 if rex.b else 0)
+        return reg_field, _reg_for(rm_code, size, rex)
+    if rm_bits == 0b101 and mod == 0b00:
+        # RIP-relative
+        disp = cur.i32()
+        return reg_field, Mem(base=RIP, disp=disp, size=size)
+    index = None
+    scale = 1
+    if rm_bits == 0b100:
+        sib = cur.u8()
+        scale = 1 << (sib >> 6)
+        index_bits = (sib >> 3) & 7
+        base_bits = sib & 7
+        if not (index_bits == 0b100 and not rex.x):
+            index_code = index_bits | (8 if rex.x else 0)
+            index = by_code(index_code, 8)
+            if index.name == "rsp":
+                raise DecodingError("rsp used as index register")
+        if base_bits == 0b101 and mod == 0b00:
+            disp = cur.i32()
+            return reg_field, Mem(base=None, index=index, scale=scale,
+                                  disp=disp, size=size)
+        base = by_code(base_bits | (8 if rex.b else 0), 8)
+    else:
+        base = by_code(rm_bits | (8 if rex.b else 0), 8)
+    if mod == 0b01:
+        disp = cur.i8()
+    elif mod == 0b10:
+        disp = cur.i32()
+    else:
+        disp = 0
+    return reg_field, Mem(base=base, index=index, scale=scale, disp=disp,
+                          size=size)
+
+
+def decode(data: bytes, offset: int = 0, address: int = 0) -> Instruction:
+    """Decode one instruction from ``data[offset:]``.
+
+    ``address`` is the virtual address of the instruction, recorded on
+    the result and used for ``branch_target()`` computations.
+    """
+    cur = _Cursor(data, offset)
+    rex_byte = None
+    byte = cur.u8()
+    if 0x40 <= byte <= 0x4F:
+        rex_byte = byte
+        byte = cur.u8()
+    rex = _Rex(rex_byte)
+    size = 8 if rex.w else 4
+
+    mnemonic = None
+    operands: tuple = ()
+    cond = None
+
+    if byte in (0x66, 0x67, 0xF0, 0xF2, 0xF3, 0x2E, 0x3E):
+        raise DecodingError(f"unsupported prefix {byte:#x}")
+
+    alu_base = byte & 0xF8
+    alu_low = byte & 0x07
+    if alu_base in _ALU_BY_BASE and alu_low <= 0x05:
+        mnemonic = _ALU_BY_BASE[alu_base]
+        if alu_low in (0, 1):  # rm, reg
+            opsize = 1 if alu_low == 0 else size
+            reg_field, rm = _decode_modrm(cur, rex, opsize)
+            operands = (rm, _reg_for(reg_field, opsize, rex))
+        elif alu_low in (2, 3):  # reg, rm
+            opsize = 1 if alu_low == 2 else size
+            reg_field, rm = _decode_modrm(cur, rex, opsize)
+            operands = (_reg_for(reg_field, opsize, rex), rm)
+        elif alu_low == 4:  # al, imm8
+            operands = (_reg_for(0, 1, rex), Imm(cur.i8(), 1))
+        else:  # eax/rax, imm32
+            operands = (_reg_for(0, size, rex), Imm(cur.i32(), 4))
+    elif 0x50 <= byte <= 0x57:
+        mnemonic = Mnemonic.PUSH
+        operands = (Reg(by_code((byte - 0x50) | (8 if rex.b else 0), 8)),)
+    elif 0x58 <= byte <= 0x5F:
+        mnemonic = Mnemonic.POP
+        operands = (Reg(by_code((byte - 0x58) | (8 if rex.b else 0), 8)),)
+    elif byte == 0x68:
+        mnemonic = Mnemonic.PUSH
+        operands = (Imm(cur.i32(), 4),)
+    elif byte == 0x6A:
+        mnemonic = Mnemonic.PUSH
+        operands = (Imm(cur.i8(), 1),)
+    elif 0x70 <= byte <= 0x7F:
+        mnemonic = Mnemonic.JCC
+        cond = Cond(byte - 0x70)
+        operands = (Imm(cur.i8(), 1),)
+    elif byte in (0x80, 0x81, 0x83):
+        opsize = 1 if byte == 0x80 else size
+        reg_field, rm = _decode_modrm(cur, rex, opsize)
+        mnemonic = _GRP1.get(reg_field & 7)
+        if mnemonic is None:
+            raise DecodingError(f"unsupported group-1 extension {reg_field}")
+        if byte == 0x81:
+            imm = Imm(cur.i32(), 4)
+        else:
+            imm = Imm(cur.i8(), 1)
+        operands = (rm, imm)
+    elif byte in (0x84, 0x85):
+        mnemonic = Mnemonic.TEST
+        opsize = 1 if byte == 0x84 else size
+        reg_field, rm = _decode_modrm(cur, rex, opsize)
+        operands = (rm, _reg_for(reg_field, opsize, rex))
+    elif byte in (0x88, 0x89):
+        mnemonic = Mnemonic.MOV
+        opsize = 1 if byte == 0x88 else size
+        reg_field, rm = _decode_modrm(cur, rex, opsize)
+        operands = (rm, _reg_for(reg_field, opsize, rex))
+    elif byte in (0x8A, 0x8B):
+        mnemonic = Mnemonic.MOV
+        opsize = 1 if byte == 0x8A else size
+        reg_field, rm = _decode_modrm(cur, rex, opsize)
+        operands = (_reg_for(reg_field, opsize, rex), rm)
+    elif byte == 0x8D:
+        mnemonic = Mnemonic.LEA
+        reg_field, rm = _decode_modrm(cur, rex, size)
+        if not isinstance(rm, Mem):
+            raise DecodingError("lea requires a memory operand")
+        operands = (_reg_for(reg_field, size, rex), rm)
+    elif byte == 0x8F:
+        mnemonic = Mnemonic.POP
+        reg_field, rm = _decode_modrm(cur, rex, 8)
+        if (reg_field & 7) != 0:
+            raise DecodingError("unsupported 8F extension")
+        operands = (rm,)
+    elif byte == 0x90:
+        mnemonic = Mnemonic.NOP
+    elif byte == 0x9C:
+        mnemonic = Mnemonic.PUSHFQ
+    elif byte == 0x9D:
+        mnemonic = Mnemonic.POPFQ
+    elif 0xB0 <= byte <= 0xB7:
+        mnemonic = Mnemonic.MOV
+        operands = (_reg_for((byte - 0xB0) | (8 if rex.b else 0), 1, rex),
+                    Imm(cur.i8(), 1))
+    elif 0xB8 <= byte <= 0xBF:
+        mnemonic = Mnemonic.MOV
+        dst = Reg(by_code((byte - 0xB8) | (8 if rex.b else 0), size))
+        if rex.w:
+            value = cur.u64()
+            if value >= 1 << 63:
+                value -= 1 << 64
+            operands = (dst, Imm(value, 8))
+        else:
+            operands = (dst, Imm(cur.i32(), 4))
+    elif byte in (0xC0, 0xC1):
+        opsize = 1 if byte == 0xC0 else size
+        reg_field, rm = _decode_modrm(cur, rex, opsize)
+        mnemonic = _SHIFT.get(reg_field & 7)
+        if mnemonic is None:
+            raise DecodingError(f"unsupported shift extension {reg_field}")
+        operands = (rm, Imm(cur.u8(), 1))
+    elif byte == 0xC3:
+        mnemonic = Mnemonic.RET
+    elif byte in (0xC6, 0xC7):
+        mnemonic = Mnemonic.MOV
+        opsize = 1 if byte == 0xC6 else size
+        reg_field, rm = _decode_modrm(cur, rex, opsize)
+        if (reg_field & 7) != 0:
+            raise DecodingError("unsupported C6/C7 extension")
+        if byte == 0xC6:
+            operands = (rm, Imm(cur.i8(), 1))
+        else:
+            operands = (rm, Imm(cur.i32(), 4))
+    elif byte == 0xCC:
+        mnemonic = Mnemonic.INT3
+    elif byte in (0xD0, 0xD1):
+        opsize = 1 if byte == 0xD0 else size
+        reg_field, rm = _decode_modrm(cur, rex, opsize)
+        mnemonic = _SHIFT.get(reg_field & 7)
+        if mnemonic is None:
+            raise DecodingError(f"unsupported shift extension {reg_field}")
+        operands = (rm, Imm(1, 1))
+    elif byte in (0xD2, 0xD3):
+        opsize = 1 if byte == 0xD2 else size
+        reg_field, rm = _decode_modrm(cur, rex, opsize)
+        mnemonic = _SHIFT.get(reg_field & 7)
+        if mnemonic is None:
+            raise DecodingError(f"unsupported shift extension {reg_field}")
+        operands = (rm, _reg_for(1, 1, rex))
+    elif byte == 0xE8:
+        mnemonic = Mnemonic.CALL
+        operands = (Imm(cur.i32(), 4),)
+    elif byte == 0xE9:
+        mnemonic = Mnemonic.JMP
+        operands = (Imm(cur.i32(), 4),)
+    elif byte == 0xEB:
+        mnemonic = Mnemonic.JMP
+        operands = (Imm(cur.i8(), 1),)
+    elif byte == 0xF4:
+        mnemonic = Mnemonic.HLT
+    elif byte in (0xF6, 0xF7):
+        opsize = 1 if byte == 0xF6 else size
+        reg_field, rm = _decode_modrm(cur, rex, opsize)
+        ext = reg_field & 7
+        if ext == 0:
+            mnemonic = Mnemonic.TEST
+            if byte == 0xF6:
+                operands = (rm, Imm(cur.i8(), 1))
+            else:
+                operands = (rm, Imm(cur.i32(), 4))
+        elif ext == 2:
+            mnemonic = Mnemonic.NOT
+            operands = (rm,)
+        elif ext == 3:
+            mnemonic = Mnemonic.NEG
+            operands = (rm,)
+        else:
+            raise DecodingError(f"unsupported F6/F7 extension {ext}")
+    elif byte == 0xFE:
+        reg_field, rm = _decode_modrm(cur, rex, 1)
+        ext = reg_field & 7
+        if ext == 0:
+            mnemonic = Mnemonic.INC
+        elif ext == 1:
+            mnemonic = Mnemonic.DEC
+        else:
+            raise DecodingError(f"unsupported FE extension {ext}")
+        operands = (rm,)
+    elif byte == 0xFF:
+        reg_field, rm = _decode_modrm(cur, rex, size)
+        ext = reg_field & 7
+        if ext == 0:
+            mnemonic = Mnemonic.INC
+            operands = (rm,)
+        elif ext == 1:
+            mnemonic = Mnemonic.DEC
+            operands = (rm,)
+        elif ext == 2:
+            mnemonic = Mnemonic.CALL
+            operands = (_with_size(rm, 8),)
+        elif ext == 4:
+            mnemonic = Mnemonic.JMP
+            operands = (_with_size(rm, 8),)
+        elif ext == 6:
+            mnemonic = Mnemonic.PUSH
+            operands = (_with_size(rm, 8),)
+        else:
+            raise DecodingError(f"unsupported FF extension {ext}")
+    elif byte == 0x0F:
+        second = cur.u8()
+        if second == 0x05:
+            mnemonic = Mnemonic.SYSCALL
+        elif second == 0x0B:
+            mnemonic = Mnemonic.UD2
+        elif 0x40 <= second <= 0x4F:
+            mnemonic = Mnemonic.CMOVCC
+            cond = Cond(second - 0x40)
+            reg_field, rm = _decode_modrm(cur, rex, size)
+            operands = (_reg_for(reg_field, size, rex), rm)
+        elif 0x80 <= second <= 0x8F:
+            mnemonic = Mnemonic.JCC
+            cond = Cond(second - 0x80)
+            operands = (Imm(cur.i32(), 4),)
+        elif 0x90 <= second <= 0x9F:
+            mnemonic = Mnemonic.SETCC
+            cond = Cond(second - 0x90)
+            reg_field, rm = _decode_modrm(cur, rex, 1)
+            operands = (rm,)
+        elif second == 0xAF:
+            mnemonic = Mnemonic.IMUL
+            reg_field, rm = _decode_modrm(cur, rex, size)
+            operands = (_reg_for(reg_field, size, rex), rm)
+        elif second == 0xB6:
+            mnemonic = Mnemonic.MOVZX
+            reg_field, rm = _decode_modrm(cur, rex, 1)
+            operands = (_reg_for(reg_field, size, rex), rm)
+        else:
+            raise DecodingError(f"unsupported 0F opcode {second:#x}")
+    else:
+        raise DecodingError(f"unsupported opcode {byte:#x}")
+
+    length = cur.pos - offset
+    return Instruction(
+        mnemonic,
+        operands,
+        cond=cond,
+        address=address,
+        length=length,
+        raw=bytes(data[offset:cur.pos]),
+    )
+
+
+def _with_size(rm, size: int):
+    """Re-size a decoded r/m operand (indirect call/jmp/push are 64-bit)."""
+    if isinstance(rm, Reg):
+        return Reg(by_code(rm.register.code, size))
+    return Mem(rm.base, rm.index, rm.scale, rm.disp, size)
+
+
+def decode_all(data: bytes, address: int = 0):
+    """Linear sweep decode of a byte buffer; yields instructions."""
+    offset = 0
+    while offset < len(data):
+        instruction = decode(data, offset, address + offset)
+        yield instruction
+        offset += instruction.length

@@ -1,0 +1,163 @@
+"""Instruction model of the x86-64 subset."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.isa.cond import Cond
+from repro.isa.operands import Imm, Label, Mem, Operand, Reg
+
+
+class Mnemonic(enum.Enum):
+    """Supported mnemonics.
+
+    ``JCC``/``SETCC``/``CMOVCC`` are families; the concrete condition
+    lives in :attr:`Instruction.cond`.
+    """
+
+    MOV = "mov"
+    MOVZX = "movzx"
+    LEA = "lea"
+    ADD = "add"
+    SUB = "sub"
+    XOR = "xor"
+    AND = "and"
+    OR = "or"
+    CMP = "cmp"
+    TEST = "test"
+    IMUL = "imul"
+    INC = "inc"
+    DEC = "dec"
+    NEG = "neg"
+    NOT = "not"
+    SHL = "shl"
+    SHR = "shr"
+    SAR = "sar"
+    PUSH = "push"
+    POP = "pop"
+    PUSHFQ = "pushfq"
+    POPFQ = "popfq"
+    JMP = "jmp"
+    JCC = "jcc"
+    CALL = "call"
+    RET = "ret"
+    SETCC = "setcc"
+    CMOVCC = "cmovcc"
+    NOP = "nop"
+    SYSCALL = "syscall"
+    HLT = "hlt"
+    INT3 = "int3"
+    UD2 = "ud2"
+
+    def __str__(self):
+        return self.value
+
+
+# Mnemonics that terminate or redirect control flow.
+CONTROL_FLOW = {Mnemonic.JMP, Mnemonic.JCC, Mnemonic.CALL, Mnemonic.RET,
+                Mnemonic.HLT, Mnemonic.UD2, Mnemonic.INT3}
+
+# Mnemonics that write the arithmetic flags.
+FLAG_WRITERS = {Mnemonic.ADD, Mnemonic.SUB, Mnemonic.XOR, Mnemonic.AND,
+                Mnemonic.OR, Mnemonic.CMP, Mnemonic.TEST, Mnemonic.IMUL,
+                Mnemonic.INC, Mnemonic.DEC, Mnemonic.NEG, Mnemonic.SHL,
+                Mnemonic.SHR, Mnemonic.SAR, Mnemonic.POPFQ}
+
+# Mnemonics that read the arithmetic flags.
+FLAG_READERS = {Mnemonic.JCC, Mnemonic.SETCC, Mnemonic.CMOVCC,
+                Mnemonic.PUSHFQ}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded or to-be-encoded instruction.
+
+    ``address`` and ``length`` are populated by the decoder (and by the
+    assembler after layout); they are advisory for encoding.
+    """
+
+    mnemonic: Mnemonic
+    operands: Tuple[Operand, ...] = ()
+    cond: Optional[Cond] = None
+    address: Optional[int] = None
+    length: Optional[int] = None
+    raw: bytes = field(default=b"", compare=False)
+
+    def __post_init__(self):
+        needs_cond = self.mnemonic in (
+            Mnemonic.JCC, Mnemonic.SETCC, Mnemonic.CMOVCC)
+        if needs_cond and self.cond is None:
+            raise ValueError(f"{self.mnemonic} requires a condition code")
+        if not needs_cond and self.cond is not None:
+            raise ValueError(f"{self.mnemonic} does not take a condition")
+
+    # -- convenience accessors -------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Concrete assembly mnemonic, e.g. ``"jne"`` or ``"setb"``."""
+        if self.mnemonic is Mnemonic.JCC:
+            return "j" + self.cond.suffix
+        if self.mnemonic is Mnemonic.SETCC:
+            return "set" + self.cond.suffix
+        if self.mnemonic is Mnemonic.CMOVCC:
+            return "cmov" + self.cond.suffix
+        return self.mnemonic.value
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self.mnemonic in CONTROL_FLOW
+
+    @property
+    def is_branch(self) -> bool:
+        return self.mnemonic in (Mnemonic.JMP, Mnemonic.JCC)
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.mnemonic is Mnemonic.JCC
+
+    @property
+    def writes_flags(self) -> bool:
+        return self.mnemonic in FLAG_WRITERS
+
+    @property
+    def reads_flags(self) -> bool:
+        return self.mnemonic in FLAG_READERS
+
+    @property
+    def end_address(self) -> Optional[int]:
+        if self.address is None or self.length is None:
+            return None
+        return self.address + self.length
+
+    def with_operands(self, *operands: Operand) -> "Instruction":
+        """Copy of this instruction with replaced operands."""
+        return replace(self, operands=tuple(operands))
+
+    def branch_target(self) -> Optional[int]:
+        """Absolute target address for direct branches/calls.
+
+        Requires a resolved (decoded) instruction: relative displacement
+        operands are interpreted against ``address + length``.
+        """
+        if self.mnemonic not in (Mnemonic.JMP, Mnemonic.JCC, Mnemonic.CALL):
+            return None
+        if not self.operands or not isinstance(self.operands[0], Imm):
+            return None
+        if self.end_address is None:
+            return None
+        return self.end_address + self.operands[0].value
+
+    def __str__(self):
+        if not self.operands:
+            return self.name
+        rendered = ", ".join(str(op) for op in self.operands)
+        return f"{self.name} {rendered}"
+
+
+def insn(mnemonic: Mnemonic, *operands: Operand,
+         cond: Optional[Cond] = None) -> Instruction:
+    """Terse constructor used throughout the code base."""
+    return Instruction(mnemonic, tuple(operands), cond=cond)

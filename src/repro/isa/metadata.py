@@ -1,0 +1,147 @@
+"""Semantic metadata about instructions: registers/flags read and written.
+
+Used by the analysis layer (liveness, reaching definitions, register
+value analysis) and by the patcher when deciding whether a protection
+pattern must preserve RFLAGS across the patch point.
+
+Registers are normalized to their 64-bit parents, since sub-register
+writes in our subset either leave the upper bits (8-bit) or zero them
+(32-bit) — for liveness purposes a write to ``eax`` is a write to
+``rax`` (it clobbers the full register value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.isa.insn import Instruction, Mnemonic
+from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.registers import RIP, Register, parent_gpr, reg
+
+RSP = reg("rsp")
+RCX = reg("rcx")
+RAX = reg("rax")
+RDI = reg("rdi")
+RSI = reg("rsi")
+RDX = reg("rdx")
+R11 = reg("r11")
+
+
+@dataclass(frozen=True)
+class Effects:
+    """Register and flag effects of one instruction."""
+
+    reads: FrozenSet[Register] = frozenset()
+    writes: FrozenSet[Register] = frozenset()
+    reads_flags: bool = False
+    writes_flags: bool = False
+    reads_memory: bool = False
+    writes_memory: bool = False
+
+
+def _mem_regs(mem: Mem) -> set[Register]:
+    regs = set()
+    if mem.base is not None and mem.base is not RIP:
+        regs.add(parent_gpr(mem.base))
+    if mem.index is not None:
+        regs.add(parent_gpr(mem.index))
+    return regs
+
+
+def effects(insn: Instruction) -> Effects:
+    """Compute the :class:`Effects` of ``insn``."""
+    reads: set[Register] = set()
+    writes: set[Register] = set()
+    reads_memory = False
+    writes_memory = False
+    m = insn.mnemonic
+    ops = insn.operands
+
+    def use(operand, *, as_dest=False, read_dest=True):
+        nonlocal reads_memory, writes_memory
+        if isinstance(operand, Reg):
+            register = parent_gpr(operand.register)
+            if as_dest:
+                writes.add(register)
+                if read_dest:
+                    reads.add(register)
+            else:
+                reads.add(register)
+        elif isinstance(operand, Mem):
+            reads.update(_mem_regs(operand))
+            if as_dest:
+                writes_memory = True
+                if read_dest:
+                    reads_memory = True
+            else:
+                reads_memory = True
+
+    if m in (Mnemonic.MOV, Mnemonic.MOVZX):
+        use(ops[0], as_dest=True, read_dest=False)
+        use(ops[1])
+    elif m is Mnemonic.LEA:
+        use(ops[0], as_dest=True, read_dest=False)
+        reads.update(_mem_regs(ops[1]))
+    elif m in (Mnemonic.ADD, Mnemonic.SUB, Mnemonic.XOR, Mnemonic.AND,
+               Mnemonic.OR, Mnemonic.IMUL):
+        use(ops[0], as_dest=True)
+        use(ops[1])
+    elif m in (Mnemonic.CMP, Mnemonic.TEST):
+        use(ops[0])
+        use(ops[1])
+    elif m in (Mnemonic.INC, Mnemonic.DEC, Mnemonic.NEG, Mnemonic.NOT):
+        use(ops[0], as_dest=True)
+    elif m in (Mnemonic.SHL, Mnemonic.SHR, Mnemonic.SAR):
+        use(ops[0], as_dest=True)
+        use(ops[1])
+    elif m is Mnemonic.PUSH:
+        use(ops[0])
+        reads.add(RSP)
+        writes.add(RSP)
+        writes_memory = True
+    elif m is Mnemonic.POP:
+        use(ops[0], as_dest=True, read_dest=False)
+        reads.add(RSP)
+        writes.add(RSP)
+        reads_memory = True
+    elif m in (Mnemonic.PUSHFQ, Mnemonic.POPFQ):
+        reads.add(RSP)
+        writes.add(RSP)
+        if m is Mnemonic.PUSHFQ:
+            writes_memory = True
+        else:
+            reads_memory = True
+    elif m in (Mnemonic.JMP, Mnemonic.CALL):
+        if ops and not isinstance(ops[0], Imm):
+            use(ops[0])
+        if m is Mnemonic.CALL:
+            reads.add(RSP)
+            writes.add(RSP)
+            writes_memory = True
+    elif m is Mnemonic.RET:
+        reads.add(RSP)
+        writes.add(RSP)
+        reads_memory = True
+    elif m is Mnemonic.SETCC:
+        use(ops[0], as_dest=True, read_dest=False)
+    elif m is Mnemonic.CMOVCC:
+        use(ops[0], as_dest=True)
+        use(ops[1])
+    elif m is Mnemonic.SYSCALL:
+        # Linux x86-64: number in rax, args rdi/rsi/rdx; rax result,
+        # rcx/r11 clobbered.
+        reads.update({RAX, RDI, RSI, RDX})
+        writes.update({RAX, RCX, R11})
+        reads_memory = True
+        writes_memory = True
+    # JCC / NOP / HLT / INT3 / UD2 have no register effects.
+
+    return Effects(
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+        reads_flags=insn.reads_flags,
+        writes_flags=insn.writes_flags,
+        reads_memory=reads_memory,
+        writes_memory=writes_memory,
+    )

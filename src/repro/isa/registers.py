@@ -1,0 +1,118 @@
+"""General-purpose register file of the x86-64 subset.
+
+Sixteen GPRs with 1-, 4-, and 8-byte views (16-bit views are not part of
+the subset; the assembler and decoder reject them).  The classic
+high-byte registers (``ah``..``bh``) are likewise excluded: encodings
+4-7 in 8-bit context are only accepted when a REX prefix is present, in
+which case they denote ``spl``/``bpl``/``sil``/``dil`` — matching real
+hardware behaviour for REX-prefixed code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+_GPR64 = [
+    "rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+]
+_GPR32 = [
+    "eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+    "r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+]
+_GPR8 = [
+    "al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+    "r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b",
+]
+
+
+@dataclass(frozen=True)
+class Register:
+    """A named architectural register view.
+
+    ``code`` is the 4-bit hardware encoding (the high bit goes into a
+    REX extension bit), ``size`` is the view width in bytes.
+    """
+
+    name: str
+    code: int
+    size: int
+
+    def __repr__(self):
+        return f"Register({self.name})"
+
+    def __str__(self):
+        return self.name
+
+    @property
+    def needs_rex_bit(self) -> bool:
+        """True when the register requires REX.B/R/X (codes 8-15)."""
+        return self.code >= 8
+
+    @property
+    def needs_rex_presence(self) -> bool:
+        """True for spl/bpl/sil/dil, which need *a* REX prefix to exist."""
+        return self.size == 1 and 4 <= self.code <= 7
+
+
+RIP = Register("rip", 16, 8)
+"""Pseudo-register used as the base of RIP-relative memory operands."""
+
+
+def _build_registry() -> dict[str, Register]:
+    registry: dict[str, Register] = {}
+    for names, size in ((_GPR64, 8), (_GPR32, 4), (_GPR8, 1)):
+        for code, name in enumerate(names):
+            registry[name] = Register(name, code, size)
+    registry["rip"] = RIP
+    return registry
+
+
+_REGISTRY = _build_registry()
+_BY_CODE = {
+    (r.code, r.size): r for r in _REGISTRY.values() if r is not RIP
+}
+
+
+def reg(name: str) -> Register:
+    """Look up a register by its assembly name (e.g. ``"rax"``)."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown register name: {name!r}") from None
+
+
+def gpr64(code: int) -> Register:
+    """Return the 64-bit GPR with hardware encoding ``code`` (0-15)."""
+    return _BY_CODE[(code, 8)]
+
+
+def by_code(code: int, size: int) -> Register:
+    """Return the register view for hardware ``code`` at ``size`` bytes."""
+    try:
+        return _BY_CODE[(code, size)]
+    except KeyError:
+        raise KeyError(f"no register with code={code} size={size}") from None
+
+
+def sub_register(register: Register, size: int) -> Register:
+    """Return the ``size``-byte view of ``register``'s GPR."""
+    return by_code(register.code, size)
+
+
+def parent_gpr(register: Register) -> Register:
+    """Return the full 64-bit register containing ``register``."""
+    if register is RIP:
+        return RIP
+    return by_code(register.code, 8)
+
+
+def all_gpr64() -> list[Register]:
+    """All sixteen 64-bit GPRs in encoding order."""
+    return [gpr64(code) for code in range(16)]
+
+
+def is_register_name(name: str) -> bool:
+    """True when ``name`` denotes a register in this subset."""
+    return name.lower() in _REGISTRY

@@ -1,0 +1,13 @@
+"""Binary -> SSA-IR lifter (the reproduction's Rev.ng substitute).
+
+Translates a recovered GTIRB module into one IR function with explicit
+guest state (registers and status flags as allocas, promoted to SSA by
+mem2reg), guest memory accessed through absolute addresses, and system
+calls as intrinsics.  Direct guest calls are inlined at lift time
+(recursion and indirect control flow are rejected with a diagnostic, a
+documented simplification over Rev.ng's root-dispatcher design).
+"""
+
+from repro.lift.lifter import Lifter, lift_executable
+
+__all__ = ["Lifter", "lift_executable"]

@@ -1,0 +1,67 @@
+"""Guest architectural state modeled as IR allocas."""
+
+from __future__ import annotations
+
+from repro.ir.builder import IRBuilder
+from repro.ir.types import I1, I8, I32, I64, int_type
+from repro.ir.values import Constant
+from repro.isa.registers import Register, all_gpr64, parent_gpr
+
+# The lifted program simulates the guest stack in a region distinct from
+# the lowered binary's own runtime stack (both live inside the emulator's
+# mapped stack area; see DESIGN.md).
+GUEST_STACK_INIT = 0x7FFF_0000
+
+FLAG_NAMES = ("zf", "sf", "cf", "of")
+
+
+class GuestState:
+    """Registers + flags as entry-block allocas."""
+
+    def __init__(self, builder: IRBuilder):
+        self.reg_slots = {}
+        for register in all_gpr64():
+            slot = builder.alloca(I64, register.name)
+            builder.store(Constant(I64, 0), slot)
+            self.reg_slots[register.name] = slot
+        builder.store(Constant(I64, GUEST_STACK_INIT),
+                      self.reg_slots["rsp"])
+        self.flag_slots = {}
+        for name in FLAG_NAMES:
+            slot = builder.alloca(I1, name)
+            builder.store(Constant(I1, 0), slot)
+            self.flag_slots[name] = slot
+
+    # -- registers -----------------------------------------------------------
+
+    def read_reg(self, builder: IRBuilder, register: Register):
+        """Read a register view; returns a value of the view's width."""
+        slot = self.reg_slots[parent_gpr(register).name]
+        full = builder.load(I64, slot, register.name)
+        if register.size == 8:
+            return full
+        return builder.trunc(full, int_type(register.size * 8))
+
+    def write_reg(self, builder: IRBuilder, register: Register, value):
+        """Write a register view with x86-64 merge semantics."""
+        slot = self.reg_slots[parent_gpr(register).name]
+        if register.size == 8:
+            builder.store(value, slot)
+        elif register.size == 4:
+            builder.store(builder.zext(value, I64), slot)
+        else:  # 1 byte: preserve the upper 56 bits
+            old = builder.load(I64, slot)
+            kept = builder.and_(old, Constant(I64, ~0xFF))
+            merged = builder.or_(kept, builder.zext(value, I64))
+            builder.store(merged, slot)
+
+    # -- flags ------------------------------------------------------------------
+
+    def read_flag(self, builder: IRBuilder, name: str):
+        return builder.load(I1, self.flag_slots[name], name)
+
+    def write_flag(self, builder: IRBuilder, name: str, value):
+        builder.store(value, self.flag_slots[name])
+
+    def write_flag_const(self, builder: IRBuilder, name: str, value: int):
+        builder.store(Constant(I1, value), self.flag_slots[name])

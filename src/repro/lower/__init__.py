@@ -1,0 +1,14 @@
+"""IR -> x86-64 lowering backend (the reproduction's ``llc`` substitute).
+
+Pipeline: critical-edge splitting -> instruction selection to a virtual-
+register machine IR (with phi-copy insertion) -> block-level liveness ->
+linear-scan register allocation with spilling -> frame construction ->
+assembly emission through the repro assembler.  The guest's data
+sections are pinned at their original virtual addresses, because lifted
+code references them as absolute constants; the regenerated code lives
+at a fresh base above them.
+"""
+
+from repro.lower.pipeline import lower_module, lower_executable
+
+__all__ = ["lower_module", "lower_executable"]

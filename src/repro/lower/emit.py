@@ -1,0 +1,248 @@
+"""MIR -> assembler Program emission (post-register-allocation)."""
+
+from __future__ import annotations
+
+from repro.asm.source import (
+    DataStmt, InsnStmt, LabelDef, Program, SpaceStmt)
+from repro.binfmt.image import Executable
+from repro.errors import LowerError
+from repro.isa.cond import Cond
+from repro.isa.insn import Instruction, Mnemonic
+from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.registers import Register, reg, sub_register
+from repro.lower.mir import MFunction, MImm, MMem, VReg
+
+ABORT_MESSAGE = b"FAULT DETECTED\n"
+ABORT_EXIT_CODE = 42
+
+RAX, RDI, RSI, RDX = (reg(n) for n in ("rax", "rdi", "rsi", "rdx"))
+RCX, RBP, RSP = (reg(n) for n in ("rcx", "rbp", "rsp"))
+
+_WIDTH_LOAD = {1: "movzx", 4: "mov", 8: "mov"}
+
+
+class Emitter:
+    """Turns allocated MIR into an assembler Program."""
+
+    def __init__(self, mfn: MFunction, frame_slots: int,
+                 original: Executable, text_base: int = 0x480000,
+                 trap_after_jmp: bool = False):
+        self.mfn = mfn
+        self.frame_slots = frame_slots
+        self.original = original
+        self.text_base = text_base
+        self.trap_after_jmp = trap_after_jmp
+        self.program = Program()
+        self.items = self.program.items(".text")
+        self.needs_abort_stub = False
+
+    # -- public ------------------------------------------------------------
+
+    def emit(self) -> Program:
+        self.program.text_base = self.text_base
+        self.program.entry = "_start"
+        self.program.globals.add("_start")
+        self._prologue()
+        for index, block in enumerate(self.mfn.blocks):
+            next_name = (self.mfn.blocks[index + 1].name
+                         if index + 1 < len(self.mfn.blocks) else None)
+            self.items.append(LabelDef(block.name))
+            for position, insn in enumerate(block.insns):
+                if insn.op == "jmp" and position == len(block.insns) - 1 \
+                        and insn.operands[0] == next_name:
+                    continue  # pure fall-through: elide the jump
+                self._emit_insn(insn)
+                if insn.op == "jmp" and self.trap_after_jmp:
+                    # a skipped jump must not fall into the next block
+                    self._ins(Mnemonic.UD2)
+        if self.needs_abort_stub:
+            self._abort_stub()
+        self._pin_guest_sections()
+        return self.program
+
+    # -- helpers ------------------------------------------------------------
+
+    def _ins(self, mnemonic: Mnemonic, *operands, cond=None):
+        self.items.append(InsnStmt(
+            Instruction(mnemonic, tuple(operands), cond=cond)))
+
+    def _prologue(self):
+        self.items.append(LabelDef("_start"))
+        self._ins(Mnemonic.MOV, Reg(RBP), Reg(RSP))
+        frame = (self.frame_slots * 8 + 15) // 16 * 16
+        if frame:
+            self._ins(Mnemonic.SUB, Reg(RSP), Imm(frame))
+
+    def _abort_stub(self):
+        self.items.append(LabelDef("fi_abort"))
+        self._ins(Mnemonic.MOV, Reg(RAX), Imm(1))
+        self._ins(Mnemonic.MOV, Reg(RDI), Imm(2))
+        self.items.append(InsnStmt(Instruction(
+            Mnemonic.LEA, (Reg(RSI), Mem(base=None,
+                                         disp=Label("fi_abort_msg"),
+                                         size=8)))))
+        self._ins(Mnemonic.MOV, Reg(RDX), Imm(len(ABORT_MESSAGE)))
+        self._ins(Mnemonic.SYSCALL)
+        self._ins(Mnemonic.MOV, Reg(RAX), Imm(60))
+        self._ins(Mnemonic.MOV, Reg(RDI), Imm(ABORT_EXIT_CODE))
+        self._ins(Mnemonic.SYSCALL)
+        data = self.program.items(".ldata")
+        data.append(LabelDef("fi_abort_msg"))
+        data.append(DataStmt([ABORT_MESSAGE]))
+
+    def _pin_guest_sections(self):
+        for section in self.original.sections:
+            if section.executable:
+                continue  # code is regenerated, not copied
+            name = f".guest{section.name.replace('.', '_')}"
+            self.program.section_addresses[name] = section.addr
+            items = self.program.items(name)
+            if section.nobits:
+                items.append(SpaceStmt(section.mem_size))
+            else:
+                data = section.data
+                if section.mem_size > len(data):
+                    data += bytes(section.mem_size - len(data))
+                items.append(DataStmt([data]))
+
+    # -- operand conversion ----------------------------------------------------
+
+    @staticmethod
+    def _require_reg(operand) -> Register:
+        if isinstance(operand, Register):
+            return operand
+        raise LowerError(f"expected a physical register, got {operand!r}")
+
+    @staticmethod
+    def _operand(operand):
+        if isinstance(operand, Register):
+            return Reg(operand)
+        if isinstance(operand, MImm):
+            return Imm(operand.value)
+        raise LowerError(f"unexpected operand {operand!r}")
+
+    @staticmethod
+    def _mem(operand: MMem, width: int) -> Mem:
+        base = operand.base
+        if not isinstance(base, Register):
+            raise LowerError(f"unallocated memory base {base!r}")
+        return Mem(base=base, disp=operand.disp, size=width)
+
+    # -- instruction emission ------------------------------------------------
+
+    def _emit_insn(self, insn):
+        op = insn.op
+        if op == "mov":
+            dst, src = insn.operands
+            self._ins(Mnemonic.MOV, self._operand(dst),
+                      self._operand(src))
+        elif op == "load":
+            dst, mem = insn.operands
+            register = self._require_reg(dst)
+            if insn.width == 1:
+                self._ins(Mnemonic.MOVZX, Reg(register),
+                          self._mem(mem, 1))
+            elif insn.width == 4:
+                self._ins(Mnemonic.MOV, Reg(sub_register(register, 4)),
+                          self._mem(mem, 4))
+            else:
+                self._ins(Mnemonic.MOV, Reg(register), self._mem(mem, 8))
+        elif op == "store":
+            mem, src = insn.operands
+            if isinstance(src, Register):
+                self._ins(Mnemonic.MOV, self._mem(mem, insn.width),
+                          Reg(sub_register(src, insn.width)))
+            else:
+                self._ins(Mnemonic.MOV, self._mem(mem, insn.width),
+                          Imm(src.value))
+        elif op in ("add", "sub", "and", "or", "xor", "imul"):
+            dst, src = insn.operands
+            mnemonic = {"add": Mnemonic.ADD, "sub": Mnemonic.SUB,
+                        "and": Mnemonic.AND, "or": Mnemonic.OR,
+                        "xor": Mnemonic.XOR, "imul": Mnemonic.IMUL}[op]
+            self._ins(mnemonic, self._operand(dst), self._operand(src))
+        elif op in ("neg", "not"):
+            self._ins(Mnemonic.NEG if op == "neg" else Mnemonic.NOT,
+                      self._operand(insn.operands[0]))
+        elif op in ("shl", "shr", "sar"):
+            dst, amount = insn.operands
+            mnemonic = {"shl": Mnemonic.SHL, "shr": Mnemonic.SHR,
+                        "sar": Mnemonic.SAR}[op]
+            if isinstance(amount, MImm):
+                self._ins(mnemonic, self._operand(dst),
+                          Imm(amount.value, 1))
+            else:
+                self._ins(Mnemonic.MOV, Reg(RCX), self._operand(amount))
+                self._ins(mnemonic, self._operand(dst),
+                          Reg(sub_register(RCX, 1)))
+        elif op == "cmp":
+            lhs, rhs = insn.operands
+            self._ins(Mnemonic.CMP, self._operand(lhs),
+                      self._operand(rhs))
+        elif op == "test":
+            lhs, rhs = insn.operands
+            self._ins(Mnemonic.TEST, self._operand(lhs),
+                      self._operand(rhs))
+        elif op == "setcc":
+            register = self._require_reg(insn.operands[0])
+            low = sub_register(register, 1)
+            self._ins(Mnemonic.SETCC, Reg(low), cond=insn.cond)
+            self._ins(Mnemonic.MOVZX, Reg(register), Reg(low))
+        elif op == "cmov":
+            dst, src = insn.operands
+            self._ins(Mnemonic.CMOVCC, self._operand(dst),
+                      self._operand(src), cond=insn.cond)
+        elif op == "jmp":
+            self.items.append(InsnStmt(Instruction(
+                Mnemonic.JMP, (Label(insn.operands[0]),))))
+        elif op == "jcc":
+            self.items.append(InsnStmt(Instruction(
+                Mnemonic.JCC, (Label(insn.operands[0]),),
+                cond=insn.cond)))
+        elif op == "syscall":
+            self._emit_syscall(insn)
+        elif op == "abort":
+            self.needs_abort_stub = True
+            self.items.append(InsnStmt(Instruction(
+                Mnemonic.CALL, (Label("fi_abort"),))))
+        elif op == "hlt":
+            self._ins(Mnemonic.HLT)
+        elif op == "ud2":
+            self._ins(Mnemonic.UD2)
+        else:
+            raise LowerError(f"cannot emit MIR op {op!r}")
+
+    def _emit_syscall(self, insn):
+        dst = insn.operands[0]
+        sources = insn.operands[1:5]
+        targets = [RAX, RDI, RSI, RDX]
+        self._parallel_moves(list(zip(targets, sources)))
+        self._ins(Mnemonic.SYSCALL)
+        if isinstance(dst, Register) and dst is not RAX:
+            self._ins(Mnemonic.MOV, Reg(dst), Reg(RAX))
+
+    def _parallel_moves(self, pairs):
+        """Emit ``target <- source`` moves without clobbering pending
+        sources; cycles are broken through ``rcx`` (a syscall clobber)."""
+        pending = [(t, s) for t, s in pairs
+                   if not (isinstance(s, Register) and s is t)]
+        while pending:
+            progressed = False
+            for index, (target, source) in enumerate(pending):
+                target_is_source = any(
+                    isinstance(s, Register) and s is target
+                    for t, s in pending if t is not target)
+                if target_is_source:
+                    continue
+                self._ins(Mnemonic.MOV, Reg(target),
+                          self._operand(source))
+                pending.pop(index)
+                progressed = True
+                break
+            if not progressed:
+                # cycle: rotate one value through rcx (never a target,
+                # and at most one cycle can exist among the four
+                # syscall argument registers)
+                target, source = pending.pop(0)
+                self._ins(Mnemonic.MOV, Reg(RCX), self._operand(source))
+                pending.append((target, RCX))

@@ -1,0 +1,61 @@
+"""End-to-end lowering pipeline: IR module -> executable."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.asm.assembler import assemble
+from repro.binfmt.image import Executable
+from repro.ir.module import IRModule
+from repro.ir.verifier import verify
+from repro.lift.lifter import Lifter
+from repro.lower.emit import Emitter
+from repro.lower.isel import ISel, split_critical_edges
+from repro.lower.peephole import optimize_mir, remove_self_moves
+from repro.lower.regalloc import allocate, rewrite_spills
+
+LOWERED_TEXT_BASE = 0x480000
+
+
+def lower_module(ir_module: IRModule, original: Executable,
+                 text_base: int = LOWERED_TEXT_BASE,
+                 trap_after_jmp: bool = False) -> Executable:
+    """Lower a (lifted, possibly hardened) IR module to an executable.
+
+    The guest's data sections are pinned at their original addresses;
+    the regenerated code is placed at ``text_base`` above them.
+    ``trap_after_jmp`` plants ``ud2`` behind unconditional jumps so a
+    glitched (skipped) jump cannot slide into the next block — used by
+    the hardened lowering.
+    """
+    function = ir_module.function("entry")
+    verify(function)
+    split_critical_edges(function)
+    verify(function)
+    mfn = ISel(function).run()
+    optimize_mir(mfn)
+    allocation = allocate(mfn)
+    rewrite_spills(mfn, allocation)
+    remove_self_moves(mfn)
+    emitter = Emitter(mfn, allocation.frame_slots, original,
+                      text_base=text_base, trap_after_jmp=trap_after_jmp)
+    program = emitter.emit()
+    return assemble(program)
+
+
+def lower_executable(exe: Executable,
+                     transform: Optional[Callable[[IRModule], None]] = None,
+                     optimize: bool = True) -> Executable:
+    """Lift -> (optional IR transform) -> lower, in one call.
+
+    This is the paper's Fig. 3 upper path: ``transform`` is where the
+    hybrid countermeasure pass runs.
+    """
+    ir_module = Lifter(exe).lift()
+    if optimize:
+        from repro.ir.passes.pass_manager import standard_cleanup
+        standard_cleanup().run(ir_module)
+    if transform is not None:
+        transform(ir_module)
+        verify(ir_module)
+    return lower_module(ir_module, exe)

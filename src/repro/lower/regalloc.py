@@ -1,0 +1,212 @@
+"""Linear-scan register allocation with spilling.
+
+Allocatable pool: callee-ish scratch GPRs that the syscall pseudo never
+touches.  ``rax``/``rdx``/``rdi`` are reserved as spill/expansion
+scratch; ``rsi``/``rcx``/``r11`` are syscall argument/clobber space;
+``rsp``/``rbp`` hold the runtime stack and frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import LowerError
+from repro.isa.registers import Register, reg
+from repro.lower.mir import MBlock, MFunction, MImm, MInsn, MMem, VReg
+
+POOL = [reg(name) for name in
+        ("rbx", "r8", "r9", "r10", "r12", "r13", "r14", "r15")]
+SCRATCH = [reg(name) for name in ("rax", "rdx", "rdi")]
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation."""
+
+    assignment: dict[VReg, Register] = field(default_factory=dict)
+    slots: dict[VReg, int] = field(default_factory=dict)
+
+    @property
+    def frame_slots(self) -> int:
+        return len(self.slots)
+
+    def location(self, vreg: VReg) -> Union[Register, int]:
+        if vreg in self.assignment:
+            return self.assignment[vreg]
+        return self.slots[vreg]
+
+
+def _block_liveness(mfn: MFunction):
+    """Live-in/out vreg sets per block (backward dataflow)."""
+    successors: dict[str, list[str]] = {}
+    for block in mfn.blocks:
+        targets = []
+        for insn in block.insns:
+            if insn.op in ("jmp", "jcc"):
+                targets.append(insn.operands[0])
+        successors[block.name] = targets
+
+    gen: dict[str, set] = {}
+    kill: dict[str, set] = {}
+    for block in mfn.blocks:
+        used: set = set()
+        defined: set = set()
+        for insn in block.insns:
+            for vreg in insn.uses():
+                if vreg not in defined:
+                    used.add(vreg)
+            defined.update(insn.defs())
+        gen[block.name] = used
+        kill[block.name] = defined
+
+    live_in = {b.name: set() for b in mfn.blocks}
+    live_out = {b.name: set() for b in mfn.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(mfn.blocks):
+            out: set = set()
+            for successor in successors[block.name]:
+                out |= live_in[successor]
+            new_in = gen[block.name] | (out - kill[block.name])
+            if out != live_out[block.name] or \
+                    new_in != live_in[block.name]:
+                live_out[block.name] = out
+                live_in[block.name] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def _build_intervals(mfn: MFunction):
+    """Coarse [start, end] live interval per vreg."""
+    live_in, live_out = _block_liveness(mfn)
+    position = 0
+    start: dict[VReg, int] = {}
+    end: dict[VReg, int] = {}
+
+    def touch(vreg: VReg, where: int):
+        if vreg not in start:
+            start[vreg] = where
+        end[vreg] = max(end.get(vreg, where), where)
+
+    for block in mfn.blocks:
+        block_start = position
+        for vreg in live_in[block.name]:
+            touch(vreg, block_start)
+        for insn in block.insns:
+            for vreg in insn.uses():
+                touch(vreg, position)
+            for vreg in insn.defs():
+                touch(vreg, position)
+            position += 1
+        block_end = position
+        for vreg in live_out[block.name]:
+            touch(vreg, block_end)
+    return sorted(((start[v], end[v], v) for v in start),
+                  key=lambda t: (t[0], t[1]))
+
+
+def allocate(mfn: MFunction) -> Allocation:
+    """Poletto-style linear scan over coarse intervals."""
+    intervals = _build_intervals(mfn)
+    allocation = Allocation()
+    active: list[tuple[int, int, VReg]] = []  # (end, start, vreg)
+    free = list(POOL)
+
+    def expire(current_start: int):
+        nonlocal active
+        keep = []
+        for interval_end, interval_start, vreg in active:
+            if interval_end < current_start:
+                free.append(allocation.assignment[vreg])
+            else:
+                keep.append((interval_end, interval_start, vreg))
+        active = keep
+
+    next_slot = 0
+    for interval_start, interval_end, vreg in intervals:
+        expire(interval_start)
+        if free:
+            register = free.pop()
+            allocation.assignment[vreg] = register
+            active.append((interval_end, interval_start, vreg))
+            active.sort()
+            continue
+        # spill the active interval with the furthest end
+        furthest = active[-1]
+        if furthest[0] > interval_end:
+            spilled_end, _, spilled_vreg = active.pop()
+            register = allocation.assignment.pop(spilled_vreg)
+            allocation.slots[spilled_vreg] = next_slot
+            next_slot += 1
+            allocation.assignment[vreg] = register
+            active.append((interval_end, interval_start, vreg))
+            active.sort()
+        else:
+            allocation.slots[vreg] = next_slot
+            next_slot += 1
+    return allocation
+
+
+def rewrite_spills(mfn: MFunction, allocation: Allocation) -> MFunction:
+    """Insert slot loads/stores; after this every operand is physical.
+
+    Spill slots live at ``[rbp - 8*(slot+1)]``.  Scratch registers are
+    assigned per instruction (an instruction references at most three
+    spilled vregs: two uses + a def or memory base).
+    """
+    for block in mfn.blocks:
+        new_insns: list[MInsn] = []
+        for insn in block.insns:
+            scratch_pool = list(SCRATCH)
+            taken: dict[VReg, Register] = {}
+
+            def physical(vreg: VReg) -> Register:
+                location = allocation.location(vreg)
+                if isinstance(location, Register):
+                    return location
+                if vreg in taken:
+                    return taken[vreg]
+                if not scratch_pool:
+                    raise LowerError("out of spill scratch registers")
+                register = scratch_pool.pop()
+                taken[vreg] = register
+                return register
+
+            uses = insn.uses()
+            defs = insn.defs()
+            loads = []
+            for vreg in dict.fromkeys(uses):
+                location = allocation.location(vreg)
+                if not isinstance(location, Register):
+                    register = physical(vreg)
+                    loads.append(MInsn(
+                        "load", [register, MMem(reg("rbp"),
+                                                -8 * (location + 1))]))
+            stores = []
+            for vreg in defs:
+                location = allocation.location(vreg)
+                if not isinstance(location, Register):
+                    register = physical(vreg)
+                    stores.append(MInsn(
+                        "store", [MMem(reg("rbp"), -8 * (location + 1)),
+                                  register]))
+
+            new_operands = []
+            for operand in insn.operands:
+                if isinstance(operand, VReg):
+                    new_operands.append(physical(operand))
+                elif isinstance(operand, MMem) and \
+                        isinstance(operand.base, VReg):
+                    new_operands.append(MMem(physical(operand.base),
+                                             operand.disp))
+                else:
+                    new_operands.append(operand)
+            replaced = MInsn(insn.op, new_operands, cond=insn.cond,
+                             width=insn.width)
+            new_insns.extend(loads)
+            new_insns.append(replaced)
+            new_insns.extend(stores)
+        block.insns = new_insns
+    return mfn

@@ -1,0 +1,23 @@
+"""The patcher: localized countermeasure insertion (Section IV-B.2).
+
+Takes the faulter's vulnerability list and replaces each vulnerable
+instruction with the paper's hardened patterns:
+
+* Table I  — ``mov``  : re-perform/verify the move, fault-handler on
+  mismatch,
+* Table II — ``cmp``  : duplicate the compare, compare the two RFLAGS
+  snapshots through the stack (with the Intel red-zone hop),
+* Table III— ``j<cc>``: verify the branch condition on both edges with
+  ``set<cc>`` before re-executing the jump.
+
+``FaulterPatcherLoop`` drives the Fig. 2 iteration: fault, patch,
+reassemble, repeat until no successful faults remain or only residual
+(already-protected) points are left.
+"""
+
+from repro.patcher.patterns import PatchBuilder, select_pattern
+from repro.patcher.patcher import Patcher
+from repro.patcher.loop import FaulterPatcherLoop, HardenResult
+
+__all__ = ["PatchBuilder", "select_pattern", "Patcher",
+           "FaulterPatcherLoop", "HardenResult"]

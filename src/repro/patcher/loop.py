@@ -1,0 +1,223 @@
+"""The Faulter+Patcher fixpoint loop (Fig. 2 of the paper).
+
+Iteration: run the faulter under the chosen fault models, map every
+successful fault back to its GTIRB entry, patch the unprotected ones,
+reassemble, and repeat — until no successful faults remain, only
+residual (already-protected) points are left, or the iteration cap is
+hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.asm.assembler import assemble_with_map
+from repro.binfmt.image import Executable
+from repro.disasm.emitprog import module_to_program
+from repro.disasm.recover import disassemble
+from repro.faulter.campaign import Faulter
+from repro.faulter.report import CampaignReport
+from repro.gtirb.ir import Module
+from repro.patcher.patcher import Patcher
+
+
+@dataclass
+class IterationStats:
+    """One round of fault-patch-reassemble."""
+
+    iteration: int
+    vulnerable_points: int
+    patched: int
+    residual: int
+    text_size: int
+    reports: dict[str, CampaignReport] = field(default_factory=dict)
+
+    def __str__(self):
+        return (f"iter {self.iteration}: vulnerable={self.vulnerable_points} "
+                f"patched={self.patched} residual={self.residual} "
+                f"text={self.text_size}B")
+
+
+@dataclass
+class HardenResult:
+    """Outcome of the Faulter+Patcher loop."""
+
+    hardened: Executable
+    module: Module
+    original_text_size: int
+    hardened_text_size: int
+    iterations: list[IterationStats]
+    final_reports: dict[str, CampaignReport]
+    converged: bool
+    original_sites: int = 0
+    remaining_sites: int = 0
+    emergent_points: int = 0
+
+    @property
+    def overhead_percent(self) -> float:
+        """Code-size overhead, the paper's Table V metric."""
+        if self.original_text_size == 0:
+            return 0.0
+        return 100.0 * (self.hardened_text_size - self.original_text_size) \
+            / self.original_text_size
+
+    @property
+    def site_reduction_percent(self) -> float:
+        """How many of the originally vulnerable program points were
+        fixed (the paper's "number of vulnerable points" metric)."""
+        if self.original_sites == 0:
+            return 100.0
+        return 100.0 * (self.original_sites - self.remaining_sites) \
+            / self.original_sites
+
+    def residual_vulnerabilities(self) -> dict[str, int]:
+        return {model: len(report.vulnerable_points())
+                for model, report in self.final_reports.items()}
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (for CI dashboards / automation)."""
+        return {
+            "approach": "faulter+patcher",
+            "converged": self.converged,
+            "original_text_size": self.original_text_size,
+            "hardened_text_size": self.hardened_text_size,
+            "overhead_percent": round(self.overhead_percent, 2),
+            "original_sites": self.original_sites,
+            "remaining_sites": self.remaining_sites,
+            "emergent_points": self.emergent_points,
+            "iterations": [
+                {
+                    "iteration": s.iteration,
+                    "vulnerable": s.vulnerable_points,
+                    "patched": s.patched,
+                    "residual": s.residual,
+                }
+                for s in self.iterations
+            ],
+            "final_reports": {
+                model: report.to_dict()
+                for model, report in self.final_reports.items()
+            },
+        }
+
+    def report(self) -> str:
+        lines = [
+            "Faulter+Patcher hardening report",
+            f"  text size: {self.original_text_size}B -> "
+            f"{self.hardened_text_size}B "
+            f"({self.overhead_percent:+.2f}%)",
+            f"  converged: {self.converged}",
+            f"  vulnerable sites: {self.original_sites} -> "
+            f"{self.remaining_sites} "
+            f"({self.site_reduction_percent:.0f}% fixed, "
+            f"{self.emergent_points} emergent point(s) in patterns)",
+        ]
+        for stats in self.iterations:
+            lines.append(f"  {stats}")
+        for model, report in self.final_reports.items():
+            lines.append(
+                f"  final[{model}]: "
+                f"{len(report.vulnerable_points())} vulnerable point(s), "
+                f"{report.outcomes.get('success', 0)} successful fault(s)")
+        return "\n".join(lines)
+
+
+class FaulterPatcherLoop:
+    """Drives the iterative, simulation-guided hardening of one binary."""
+
+    def __init__(self,
+                 exe: Executable,
+                 good_input: bytes,
+                 bad_input: bytes,
+                 grant_marker: bytes,
+                 models: Sequence[str] = ("skip",),
+                 max_iterations: int = 8,
+                 symbolization: str = "refined",
+                 name: str = "target"):
+        self.original = exe
+        self.good_input = good_input
+        self.bad_input = bad_input
+        self.grant_marker = grant_marker
+        self.models = list(models)
+        self.max_iterations = max_iterations
+        self.symbolization = symbolization
+        self.name = name
+
+    def run(self) -> HardenResult:
+        module = disassemble(self.original, mode=self.symbolization)
+        patcher = Patcher(module)
+        exe, tag_map = self._emit(module)
+        original_text_size = self.original.code_size()
+
+        iterations: list[IterationStats] = []
+        reports: dict[str, CampaignReport] = {}
+        converged = False
+        original_sites: set = set()
+        by_address: dict = {}
+        for iteration in range(1, self.max_iterations + 1):
+            faulter = Faulter(exe, self.good_input, self.bad_input,
+                              self.grant_marker, name=self.name)
+            reports = {m: faulter.run_campaign(m) for m in self.models}
+            by_address = {addr: entry for entry, addr in tag_map.items()}
+
+            vulnerable = {}
+            for report in reports.values():
+                for point in report.vulnerable_points():
+                    vulnerable.setdefault(point.address, point)
+            if iteration == 1:
+                original_sites = {
+                    id(by_address[a].root_site())
+                    for a in vulnerable if a in by_address}
+            if not vulnerable:
+                converged = True
+                iterations.append(IterationStats(
+                    iteration, 0, 0, 0, exe.code_size(), reports))
+                break
+
+            patched = residual = 0
+            for address in sorted(vulnerable):
+                entry = by_address.get(address)
+                if entry is None or entry.protected:
+                    residual += 1
+                    continue
+                if patcher.patch_entry(entry):
+                    patched += 1
+                else:
+                    residual += 1
+            iterations.append(IterationStats(
+                iteration, len(vulnerable), patched, residual,
+                exe.code_size(), reports))
+            if patched == 0:
+                break  # nothing more can be fixed (paper's exit arrow)
+            exe, tag_map = self._emit(module)
+
+        remaining_sites: set = set()
+        emergent = 0
+        for report in reports.values():
+            for point in report.vulnerable_points():
+                entry = by_address.get(point.address)
+                if entry is None:
+                    emergent += 1
+                    continue
+                root = id(entry.root_site())
+                if root in original_sites:
+                    remaining_sites.add(root)
+                else:
+                    emergent += 1
+        return HardenResult(
+            hardened=exe,
+            module=module,
+            original_text_size=original_text_size,
+            hardened_text_size=exe.code_size(),
+            iterations=iterations,
+            final_reports=reports,
+            converged=converged,
+            original_sites=len(original_sites),
+            remaining_sites=len(remaining_sites),
+            emergent_points=emergent,
+        )
+
+    def _emit(self, module: Module):
+        program = module_to_program(module)
+        return assemble_with_map(program)

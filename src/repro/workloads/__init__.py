@@ -1,0 +1,11 @@
+"""Case-study guest programs (Section V-C of the paper).
+
+Each workload bundles the assembly source, the linked executable, the
+"good"/"bad" inputs for the faulter, and the stdout marker that
+identifies the privileged (attacker-desired) behaviour.
+"""
+
+from repro.workloads.base import Workload
+from repro.workloads import pincheck, bootloader, corpus
+
+__all__ = ["Workload", "pincheck", "bootloader", "corpus"]

@@ -1,0 +1,31 @@
+"""Common workload container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asm import assemble
+from repro.binfmt.image import Executable
+
+
+@dataclass
+class Workload:
+    """A guest program plus the faulter's campaign inputs.
+
+    ``good_input`` drives the authorized behaviour, ``bad_input`` the
+    rejected one; ``grant_marker`` is the stdout substring that only the
+    authorized path prints (the paper's "unwanted behaviour" detector
+    when it shows up under a bad input).
+    """
+
+    name: str
+    source: str
+    good_input: bytes
+    bad_input: bytes
+    grant_marker: bytes
+    description: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def build(self) -> Executable:
+        """Assemble and link the workload."""
+        return assemble(self.source)

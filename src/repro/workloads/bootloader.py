@@ -1,0 +1,283 @@
+"""The secure-bootloader case study.
+
+"A secure bootloader in which the hash of the content of a memory
+location is calculated and compared with an expected hash value"
+(Section V-C).  The loader reads a firmware image from its input
+channel, hashes it with FNV-1a/64 and boots only on a digest match.
+The faulter's goal is to boot a tampered image.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+BOOT_MARKER = b"BOOT OK"
+FAIL_MARKER = b"BOOT FAIL"
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x100000001B3
+
+
+def fnv1a64(data: bytes) -> int:
+    """Reference FNV-1a/64 (must match the guest implementation)."""
+    digest = FNV_OFFSET
+    for byte in data:
+        digest ^= byte
+        digest = (digest * FNV_PRIME) & ((1 << 64) - 1)
+    return digest
+
+
+def default_firmware(size: int = 16) -> bytes:
+    """A deterministic pseudo-firmware image."""
+    return bytes((7 * i + 13) & 0xFF for i in range(size))
+
+
+def source(firmware: bytes) -> str:
+    """Assembly source for a bootloader expecting ``firmware``."""
+    expected = fnv1a64(firmware)
+    size = len(firmware)
+    return f"""
+# secure bootloader: hash the loaded image, boot only on digest match
+.equ IMG_LEN, {size}
+.equ OK_LEN, {len(BOOT_MARKER) + 1}
+.equ FAIL_LEN, {len(FAIL_MARKER) + 1}
+
+.section .text
+.global _start
+_start:
+    xor rax, rax              # SYS_read: receive the image
+    xor rdi, rdi
+    lea rsi, [rel image_buf]
+    mov rdx, IMG_LEN
+    syscall
+    cmp rax, IMG_LEN
+    jne boot_fail
+    lea rsi, [rel image_buf]  # FNV-1a over the image
+    movabs rbx, {FNV_OFFSET:#x}
+    movabs r8, {FNV_PRIME:#x}
+    xor rcx, rcx
+hash_loop:
+    cmp rcx, IMG_LEN
+    je hash_done
+    movzx rax, byte ptr [rsi+rcx]
+    xor rbx, rax
+    imul rbx, r8
+    inc rcx
+    jmp hash_loop
+hash_done:
+    mov rdx, qword ptr [expected_hash]
+    cmp rbx, rdx
+    jne boot_fail
+    mov rax, 1                # digest ok: announce boot
+    mov rdi, 1
+    lea rsi, [rel msg_ok]
+    mov rdx, OK_LEN
+    syscall
+    mov rax, qword ptr [fw_entry]   # simulated hand-off to firmware
+    mov rdi, 0
+    mov rax, 60
+    syscall
+boot_fail:
+    mov rax, 1
+    mov rdi, 1
+    lea rsi, [rel msg_fail]
+    mov rdx, FAIL_LEN
+    syscall
+    mov rax, 60
+    mov rdi, 1
+    syscall
+
+.section .data
+expected_hash: .quad {expected:#x}
+fw_entry:      .quad image_buf        # pointer (symbolization food)
+decoy_value:   .quad 0x401003         # looks like a .text address but is data
+msg_ok:        .asciz "{BOOT_MARKER.decode()}\\n"
+msg_fail:      .asciz "{FAIL_MARKER.decode()}\\n"
+
+.section .bss
+image_buf: .zero {max(size, 8)}
+"""
+
+
+MAGIC = b"FW"
+
+
+def _tamper(firmware: bytes) -> bytes:
+    """Corrupt two separate payload bytes.
+
+    A single-bit tamper would be compensable by flipping one bit of the
+    loader's FNV offset constant (``(h^1)^(b^1) == h^b``), which a
+    single-bit instruction fault can do — a genuine differential attack
+    our faulter discovers.  Representative wrong firmware differs in
+    more than one bit.
+    """
+    tampered = bytearray(firmware)
+    tampered[-1] ^= 0x01
+    tampered[len(tampered) // 2] ^= 0x10
+    return bytes(tampered)
+
+
+def rich_source(firmware: bytes) -> str:
+    """A realistically sized bootloader: banner, image header check,
+    FNV-1a digest verification, and a hex dump of the computed digest
+    on the failure path."""
+    expected = fnv1a64(firmware)
+    size = len(firmware)
+    return f"""
+# secure bootloader: header check + digest verification + diagnostics
+.equ IMG_LEN, {size}
+
+.section .text
+.global _start
+_start:
+    mov rdi, 1
+    lea rsi, [rel banner]
+    mov rdx, banner_len
+    call write_all
+    xor rax, rax                  # receive the image
+    xor rdi, rdi
+    lea rsi, [rel image_buf]
+    mov rdx, IMG_LEN
+    syscall
+    cmp rax, IMG_LEN
+    jne boot_fail
+    lea rsi, [rel image_buf]      # header magic check
+    mov al, byte ptr [rsi]
+    cmp al, '{MAGIC.decode()[0]}'
+    jne bad_header
+    mov al, byte ptr [rsi+1]
+    cmp al, '{MAGIC.decode()[1]}'
+    jne bad_header
+    lea rsi, [rel image_buf]      # FNV-1a/64 over the whole image
+    movabs rbx, {FNV_OFFSET:#x}
+    movabs r8, {FNV_PRIME:#x}
+    xor rcx, rcx
+hash_loop:
+    cmp rcx, IMG_LEN
+    je hash_done
+    movzx rax, byte ptr [rsi+rcx]
+    xor rbx, rax
+    imul rbx, r8
+    inc rcx
+    jmp hash_loop
+hash_done:
+    mov rdx, qword ptr [expected_hash]
+    cmp rbx, rdx
+    jne digest_mismatch
+    mov rdi, 1                    # digest ok: announce and hand off
+    lea rsi, [rel msg_ok]
+    mov rdx, msg_ok_len
+    call write_all
+    mov rax, qword ptr [fw_entry]   # simulated jump-to-firmware
+    mov rax, 60
+    xor rdi, rdi
+    syscall
+bad_header:
+    mov rdi, 2
+    lea rsi, [rel msg_header]
+    mov rdx, msg_header_len
+    call write_all
+    jmp boot_fail
+digest_mismatch:
+    call dump_digest              # diagnostic: computed digest in hex
+    jmp boot_fail
+boot_fail:
+    mov rdi, 1
+    lea rsi, [rel msg_fail]
+    mov rdx, msg_fail_len
+    call write_all
+    mov rax, 60
+    mov rdi, 1
+    syscall
+
+write_all:                        # write(rdi=fd, rsi=buf, rdx=len)
+    mov rax, 1
+    syscall
+    ret
+
+dump_digest:                      # render rbx as 16 hex chars + NL
+    lea rsi, [rel hex_buf]
+    xor rcx, rcx
+hex_loop:
+    cmp rcx, 16
+    je hex_done
+    mov rax, rbx
+    shr rax, 60                   # top nibble
+    cmp rax, 10
+    jb hex_digit
+    add rax, 'a'-10
+    jmp hex_store
+hex_digit:
+    add rax, '0'
+hex_store:
+    mov byte ptr [rsi+rcx], al
+    shl rbx, 4
+    inc rcx
+    jmp hex_loop
+hex_done:
+    mov byte ptr [rsi+16], 10     # newline
+    mov rdi, 2
+    lea rsi, [rel hex_prefix]
+    mov rdx, hex_prefix_len
+    call write_all
+    mov rdi, 2
+    lea rsi, [rel hex_buf]
+    mov rdx, 17
+    call write_all
+    ret
+
+.section .data
+expected_hash: .quad {expected:#x}
+fw_entry:      .quad image_buf
+decoy_value:   .quad 0x401003          # address-looking constant (data)
+banner:        .ascii "SECURE BOOT v2.1\\n"
+.equ banner_len, 17
+hex_prefix:    .ascii "[diag] digest="
+.equ hex_prefix_len, 14
+msg_header:    .ascii "[diag] bad image header\\n"
+.equ msg_header_len, 25
+msg_ok:        .asciz "{BOOT_MARKER.decode()}\\n"
+.equ msg_ok_len, {len(BOOT_MARKER) + 1}
+msg_fail:      .asciz "{FAIL_MARKER.decode()}\\n"
+.equ msg_fail_len, {len(FAIL_MARKER) + 1}
+
+.section .bss
+image_buf: .zero {max(size, 8)}
+hex_buf:   .zero 24
+"""
+
+
+def workload(size: int = 16, rich: bool = False) -> Workload:
+    """Bootloader workload: good input boots, tampered image fails.
+
+    ``rich=True`` selects the realistically sized loader (header check,
+    hex diagnostics) used by the Table V benchmarks.
+    """
+    if rich:
+        firmware = MAGIC + default_firmware(max(size - len(MAGIC), 8))
+        tampered = _tamper(firmware)
+        return Workload(
+            name="secure-bootloader-rich",
+            source=rich_source(firmware),
+            good_input=firmware,
+            bad_input=tampered,
+            grant_marker=BOOT_MARKER,
+            description="firmware digest check guarding boot hand-off",
+            extra={"firmware": firmware},
+        )
+    firmware = default_firmware(size)
+    tampered = _tamper(firmware)
+    return Workload(
+        name="secure-bootloader",
+        source=source(firmware),
+        good_input=firmware,
+        bad_input=tampered,
+        grant_marker=BOOT_MARKER,
+        description="firmware digest check guarding boot hand-off",
+        extra={"firmware": firmware},
+    )
+
+
+def build(size: int = 16, rich: bool = False):
+    """Assembled executable for the default bootloader."""
+    return workload(size, rich=rich).build()

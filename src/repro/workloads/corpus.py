@@ -1,0 +1,257 @@
+"""Small guest programs used by unit and property tests."""
+
+from __future__ import annotations
+
+from repro.asm import assemble
+
+EXIT42 = """
+.text
+.global _start
+_start:
+    mov rax, 60
+    mov rdi, 42
+    syscall
+"""
+
+ECHO4 = """
+# read 4 bytes from stdin and write them back
+.text
+.global _start
+_start:
+    xor rax, rax
+    xor rdi, rdi
+    lea rsi, [rel buf]
+    mov rdx, 4
+    syscall
+    mov rax, 1
+    mov rdi, 1
+    lea rsi, [rel buf]
+    mov rdx, 4
+    syscall
+    mov rax, 60
+    xor rdi, rdi
+    syscall
+.bss
+buf: .zero 8
+"""
+
+ARITH = """
+# exit code = (3*7 + 100 - 16) / 2 computed with shifts = 52
+.text
+.global _start
+_start:
+    mov rax, 3
+    mov rbx, 7
+    imul rax, rbx          # 21
+    add rax, 100           # 121
+    sub rax, 17            # 104
+    shr rax, 1             # 52
+    mov rdi, rax
+    mov rax, 60
+    syscall
+"""
+
+INFINITE_LOOP = """
+.text
+.global _start
+_start:
+    jmp _start
+"""
+
+STACK_OPS = """
+# exercises push/pop/pushfq/popfq; exits 7 when flags survive the stack
+.text
+.global _start
+_start:
+    mov rax, 5
+    cmp rax, 5            # ZF=1
+    pushfq
+    mov rbx, 1
+    add rbx, 2            # clobbers flags (ZF=0)
+    popfq
+    jne wrong             # ZF must be 1 again
+    push 7
+    pop rdi
+    mov rax, 60
+    syscall
+wrong:
+    mov rdi, 1
+    mov rax, 60
+    syscall
+"""
+
+CALL_RET = """
+# calls a helper twice; exit code 8
+.text
+.global _start
+_start:
+    mov rdi, 0
+    call bump
+    call bump
+    mov rax, 60
+    syscall
+bump:
+    add rdi, 4
+    ret
+"""
+
+INDIRECT = """
+# indirect call through a function-pointer table in .data; exit 9
+.text
+.global _start
+_start:
+    mov rax, qword ptr [table]
+    call rax
+    mov rax, 60
+    syscall
+set9:
+    mov rdi, 9
+    ret
+.data
+table: .quad set9
+"""
+
+MEMWRITES = """
+# writes a pattern into .bss then sums it; exit code 30
+.text
+.global _start
+_start:
+    lea rsi, [rel buf]
+    xor rcx, rcx
+fill:
+    cmp rcx, 5
+    je sum
+    mov rax, rcx
+    shl rax, 1            # 2*i
+    mov byte ptr [rsi+rcx], al
+    inc rcx
+    jmp fill
+sum:
+    xor rdi, rdi
+    xor rcx, rcx
+add_loop:
+    cmp rcx, 5
+    je done
+    movzx rax, byte ptr [rsi+rcx]
+    add rdi, rax
+    inc rcx
+    jmp add_loop
+done:
+    add rdi, 10           # 0+2+4+6+8 + 10 = 30
+    mov rax, 60
+    syscall
+.bss
+buf: .zero 8
+"""
+
+SETCC_CMOV = """
+# setcc/cmovcc coverage; exit code 1
+.text
+.global _start
+_start:
+    mov rax, 3
+    cmp rax, 5
+    setb cl               # cl = 1 (3 < 5)
+    movzx rdi, cl
+    mov rbx, 99
+    cmova rdi, rbx        # not taken (3 !> 5)
+    mov rax, 60
+    syscall
+"""
+
+SHIFTS_BY_CL = """
+# variable shift counts through cl; exit code 40
+.text
+.global _start
+_start:
+    mov rbx, 5
+    mov rcx, 3
+    shl rbx, cl           # 40
+    mov rdi, rbx
+    mov rax, 60
+    syscall
+"""
+
+UNARY_OPS = """
+# neg/not/test coverage; exit 10
+.text
+.global _start
+_start:
+    mov rbx, -10
+    neg rbx               # 10
+    mov rcx, 0
+    not rcx               # all ones
+    test rcx, rcx
+    js keep               # negative -> taken
+    mov rbx, 0
+keep:
+    mov rdi, rbx
+    mov rax, 60
+    syscall
+"""
+
+PUSH_MEM = """
+# push/pop with memory operands; exit 21
+.text
+.global _start
+_start:
+    push qword ptr [rel value]
+    pop rdi
+    mov rax, 60
+    syscall
+.data
+value: .quad 21
+"""
+
+JUMP_TABLE = """
+# indirect jmp through a register; exit 5
+.text
+.global _start
+_start:
+    mov rax, qword ptr [rel slot]
+    jmp rax
+dead:
+    mov rdi, 1
+    mov rax, 60
+    syscall
+alive:
+    mov rdi, 5
+    mov rax, 60
+    syscall
+.data
+slot: .quad alive
+"""
+
+BYTE_LOOP = """
+# 8-bit arithmetic wraps correctly; exit ((200+100) & 0xff) = 44
+.text
+.global _start
+_start:
+    mov bl, 200
+    add bl, 100
+    movzx rdi, bl
+    mov rax, 60
+    syscall
+"""
+
+ALL = {
+    "exit42": EXIT42,
+    "echo4": ECHO4,
+    "arith": ARITH,
+    "infinite_loop": INFINITE_LOOP,
+    "stack_ops": STACK_OPS,
+    "call_ret": CALL_RET,
+    "indirect": INDIRECT,
+    "memwrites": MEMWRITES,
+    "setcc_cmov": SETCC_CMOV,
+    "shifts_by_cl": SHIFTS_BY_CL,
+    "unary_ops": UNARY_OPS,
+    "push_mem": PUSH_MEM,
+    "jump_table": JUMP_TABLE,
+    "byte_loop": BYTE_LOOP,
+}
+
+
+def build(name: str):
+    """Assemble one of the corpus programs by name."""
+    return assemble(ALL[name])

@@ -1,0 +1,225 @@
+"""The pincheck case study.
+
+"A simple pin-check program that receives an input password and checks
+the correctness of the inserted password" (Section V-C).  A byte-wise
+compare loop guards the ACCESS GRANTED path; the faulter's goal is to
+reach that path with a wrong pin.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import Workload
+
+GRANT_MARKER = b"ACCESS GRANTED"
+DENY_MARKER = b"ACCESS DENIED"
+
+
+def source(pin: str = "1234") -> str:
+    """Assembly source for a pincheck accepting ``pin``."""
+    pin_len = len(pin)
+    return f"""
+# pincheck: compare stdin pin against the expected value
+.equ PIN_LEN, {pin_len}
+.equ GRANT_LEN, {len(GRANT_MARKER) + 1}
+.equ DENY_LEN, {len(DENY_MARKER) + 1}
+
+.section .text
+.global _start
+_start:
+    xor rax, rax              # SYS_read
+    xor rdi, rdi              # fd 0 (stdin)
+    lea rsi, [rel pin_buf]
+    mov rdx, PIN_LEN
+    syscall
+    cmp rax, PIN_LEN          # short read -> deny
+    jne deny
+    xor rcx, rcx              # index
+check_loop:
+    cmp rcx, PIN_LEN
+    je grant
+    lea rsi, [rel pin_buf]
+    mov al, byte ptr [rsi+rcx]
+    lea rdi, [rel expected_pin]
+    cmp al, byte ptr [rdi+rcx]
+    jne deny
+    inc rcx
+    jmp check_loop
+grant:
+    mov rax, 1                # SYS_write
+    mov rdi, 1
+    lea rsi, [rel msg_grant]
+    mov rdx, GRANT_LEN
+    syscall
+    mov rax, 60               # SYS_exit
+    xor rdi, rdi
+    syscall
+deny:
+    mov rax, 1
+    mov rdi, 1
+    lea rsi, [rel msg_deny]
+    mov rdx, DENY_LEN
+    syscall
+    mov rax, 60
+    mov rdi, 1
+    syscall
+
+.section .data
+expected_pin: .ascii "{pin}"
+msg_grant:    .asciz "{GRANT_MARKER.decode()}\\n"
+msg_deny:     .asciz "{DENY_MARKER.decode()}\\n"
+
+.section .bss
+pin_buf: .zero 16
+"""
+
+
+def rich_source(pin: str = "1234") -> str:
+    """A realistically sized pincheck: banner, attempt logging, the
+    compare-loop auth core, and secure buffer scrubbing — the shape the
+    paper's evaluation binaries have (the auth core is a small fraction
+    of the program text)."""
+    pin_len = len(pin)
+    return f"""
+# pincheck service: banner + logging + auth core + scrubbing
+.equ PIN_LEN, {pin_len}
+.equ BUF_LEN, 16
+
+.section .text
+.global _start
+_start:
+    mov rdi, 1                    # banner to stdout
+    lea rsi, [rel banner1]
+    mov rdx, banner1_len
+    call write_all
+    mov rdi, 1
+    lea rsi, [rel banner2]
+    mov rdx, banner2_len
+    call write_all
+    mov rdi, 2                    # audit line to stderr
+    lea rsi, [rel log_attempt]
+    mov rdx, log_attempt_len
+    call write_all
+    xor rax, rax                  # SYS_read the candidate pin
+    xor rdi, rdi
+    lea rsi, [rel pin_buf]
+    mov rdx, PIN_LEN
+    syscall
+    cmp rax, PIN_LEN              # short read -> deny
+    jne deny
+    lea rsi, [rel pin_buf]        # printable-digit sanitation pass
+    xor rdx, rdx                  # (distinct counter register: a skipped
+sanitize:                         #  init then holds PIN_LEN and merely
+    cmp rdx, PIN_LEN              #  skips sanitation, not the auth core)
+    je sanitized
+    mov al, byte ptr [rsi+rdx]
+    cmp al, '0'
+    jb deny
+    cmp al, '9'
+    ja deny
+    inc rdx
+    jmp sanitize
+sanitized:
+    xor rcx, rcx                  # the auth core: byte-wise compare
+check_loop:
+    cmp rcx, PIN_LEN
+    je grant
+    lea rsi, [rel pin_buf]
+    mov al, byte ptr [rsi+rcx]
+    lea rdi, [rel expected_pin]
+    cmp al, byte ptr [rdi+rcx]
+    jne deny
+    inc rcx
+    jmp check_loop
+grant:
+    mov rdi, 2
+    lea rsi, [rel log_grant]
+    mov rdx, log_grant_len
+    call write_all
+    mov rdi, 1
+    lea rsi, [rel msg_grant]
+    mov rdx, msg_grant_len
+    call write_all
+    call scrub
+    mov rax, 60
+    xor rdi, rdi
+    syscall
+deny:
+    mov rdi, 2
+    lea rsi, [rel log_deny]
+    mov rdx, log_deny_len
+    call write_all
+    mov rdi, 1
+    lea rsi, [rel msg_deny]
+    mov rdx, msg_deny_len
+    call write_all
+    call scrub
+    mov rax, 60
+    mov rdi, 1
+    syscall
+
+write_all:                        # write(rdi=fd, rsi=buf, rdx=len)
+    mov rax, 1
+    syscall
+    ret
+
+scrub:                            # zero the candidate buffer
+    lea rsi, [rel pin_buf]
+    xor rcx, rcx
+scrub_loop:
+    cmp rcx, BUF_LEN
+    je scrub_done
+    mov byte ptr [rsi+rcx], 0
+    inc rcx
+    jmp scrub_loop
+scrub_done:
+    ret
+
+.section .data
+expected_pin: .ascii "{pin}"
+banner1:      .ascii "PIN VERIFICATION SERVICE v1.2\\n"
+.equ banner1_len, 30
+banner2:      .ascii "enter pin:\\n"
+.equ banner2_len, 11
+log_attempt:  .ascii "[audit] auth attempt\\n"
+.equ log_attempt_len, 21
+log_grant:    .ascii "[audit] result=grant\\n"
+.equ log_grant_len, 21
+log_deny:     .ascii "[audit] result=deny\\n"
+.equ log_deny_len, 20
+msg_grant:    .asciz "{GRANT_MARKER.decode()}\\n"
+.equ msg_grant_len, {len(GRANT_MARKER) + 1}
+msg_deny:     .asciz "{DENY_MARKER.decode()}\\n"
+.equ msg_deny_len, {len(DENY_MARKER) + 1}
+
+.section .bss
+pin_buf: .zero 16
+"""
+
+
+def workload(pin: str = "1234", wrong_pin: str | None = None,
+             rich: bool = False) -> Workload:
+    """Build the pincheck workload with good/bad campaign inputs.
+
+    ``rich=True`` selects the realistically sized program used by the
+    Table V benchmarks; the default minimal variant keeps unit-test
+    fault campaigns fast.
+    """
+    if wrong_pin is None:
+        # same length, differs in every position
+        wrong_pin = "".join(chr(((ord(c) - ord("0") + 5) % 10) + ord("0"))
+                            for c in pin)
+    if len(wrong_pin) != len(pin):
+        raise ValueError("wrong_pin must have the same length as pin")
+    return Workload(
+        name="pincheck" if not rich else "pincheck-rich",
+        source=rich_source(pin) if rich else source(pin),
+        good_input=pin.encode(),
+        bad_input=wrong_pin.encode(),
+        grant_marker=GRANT_MARKER,
+        description="pin compare loop guarding a privileged path",
+    )
+
+
+def build(pin: str = "1234", rich: bool = False):
+    """Assembled executable for the default pincheck."""
+    return workload(pin, rich=rich).build()

@@ -1,0 +1,201 @@
+"""Assembler + ELF writer/reader integration tests."""
+
+import pytest
+
+from repro.asm import assemble, assemble_to_elf
+from repro.binfmt import read_elf
+from repro.errors import AsmError, LinkError
+from repro.isa import Mnemonic, decode
+from repro.isa.decoder import decode_all
+
+HELLO = """
+.section .text
+.global _start
+_start:
+    mov rax, 1          # write
+    mov rdi, 1
+    lea rsi, [rel msg]
+    mov rdx, msg_len
+    syscall
+    mov rax, 60         # exit
+    xor rdi, rdi
+    syscall
+.section .data
+msg: .ascii "hi!\\n"
+.equ msg_len, 4
+"""
+
+
+class TestBasicAssembly:
+    def test_assembles_and_links(self):
+        exe = assemble(HELLO)
+        text = exe.section(".text")
+        assert text.addr == 0x401000
+        assert exe.entry == text.addr
+        data = exe.section(".data")
+        assert data.data == b"hi!\n"
+
+    def test_rip_relative_points_at_msg(self):
+        exe = assemble(HELLO)
+        text = exe.section(".text")
+        instructions = list(decode_all(text.data, text.addr))
+        lea = next(i for i in instructions if i.mnemonic is Mnemonic.LEA)
+        target = lea.end_address + lea.operands[1].disp
+        assert target == exe.symbol("msg").value
+
+    def test_elf_roundtrip(self):
+        exe = assemble(HELLO)
+        parsed = read_elf(assemble_to_elf(HELLO))
+        assert parsed.entry == exe.entry
+        assert parsed.section(".text").data == exe.section(".text").data
+        assert parsed.section(".data").data == exe.section(".data").data
+        assert parsed.symbol("_start").value == exe.symbol("_start").value
+        assert parsed.symbol("_start").is_global
+
+    def test_local_labels_not_exported(self):
+        source = """
+        .text
+        .global _start
+        _start:
+            jmp .loop
+        .loop:
+            jmp .loop
+        """
+        exe = assemble(source)
+        names = {s.name for s in exe.symbols}
+        assert ".loop" not in names
+        assert "_start" in names
+
+
+class TestDirectives:
+    def test_quad_pointer_table(self):
+        source = """
+        .text
+        .global _start
+        _start:
+            ret
+        .data
+        table: .quad _start, table
+        """
+        exe = assemble(source)
+        data = exe.section(".data").data
+        start = int.from_bytes(data[:8], "little")
+        self_ptr = int.from_bytes(data[8:16], "little")
+        assert start == exe.symbol("_start").value
+        assert self_ptr == exe.symbol("table").value
+
+    def test_align(self):
+        source = """
+        .text
+        .global _start
+        _start:
+            ret
+        .data
+        a: .byte 1
+        .align 8
+        b: .byte 2
+        """
+        exe = assemble(source)
+        assert exe.symbol("b").value % 8 == 0
+
+    def test_bss_is_nobits(self):
+        source = """
+        .text
+        .global _start
+        _start:
+            ret
+        .bss
+        buf: .zero 64
+        """
+        exe = assemble(source)
+        bss = exe.section(".bss")
+        assert bss.nobits
+        assert bss.mem_size == 64
+        parsed = read_elf(assemble_to_elf(source))
+        assert parsed.section(".bss").nobits
+
+    def test_equ_expressions(self):
+        source = """
+        .equ A, 4
+        .equ B, A*2+1
+        .text
+        .global _start
+        _start:
+            mov rax, B
+            ret
+        """
+        exe = assemble(source)
+        text = exe.section(".text").data
+        instruction = decode(text)
+        assert instruction.operands[1].value == 9
+
+    def test_char_literal(self):
+        source = """
+        .text
+        .global _start
+        _start:
+            cmp al, 'A'
+            ret
+        """
+        exe = assemble(source)
+        instruction = decode(exe.section(".text").data)
+        assert instruction.operands[1].value == ord("A")
+
+
+class TestErrors:
+    def test_undefined_symbol(self):
+        with pytest.raises(LinkError):
+            assemble(".text\n.global _start\n_start:\n jmp nowhere\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AsmError):
+            assemble(".text\n_start:\n_start:\n ret\n")
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmError):
+            assemble(".text\n_start:\n frobnicate rax\n")
+
+    def test_missing_entry(self):
+        with pytest.raises(LinkError):
+            assemble(".text\nmain:\n ret\n")
+
+    def test_symbolic_disp_with_base_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".text\n_start:\n mov rax, [rbx+msg]\n ret\n"
+                     ".data\nmsg: .byte 1\n")
+
+
+class TestBranches:
+    def test_forward_and_backward(self):
+        source = """
+        .text
+        .global _start
+        _start:
+            jmp fwd
+        back:
+            ret
+        fwd:
+            jmp back
+        """
+        exe = assemble(source)
+        text = exe.section(".text")
+        instructions = list(decode_all(text.data, text.addr))
+        assert instructions[0].branch_target() == exe.symbol("fwd").value
+        assert instructions[-1].branch_target() == exe.symbol("back").value
+
+    def test_call_and_offset(self):
+        source = """
+        .text
+        .global _start
+        _start:
+            call fn
+            mov rbx, offset fn
+            ret
+        fn:
+            ret
+        """
+        exe = assemble(source)
+        text = exe.section(".text")
+        instructions = list(decode_all(text.data, text.addr))
+        assert instructions[0].branch_target() == exe.symbol("fn").value
+        assert instructions[1].operands[1].value == exe.symbol("fn").value

@@ -1,0 +1,116 @@
+"""Reassembleable-disassembly round trips: behaviour must be preserved."""
+
+import pytest
+
+from repro.disasm import disassemble, pretty_print, reassemble
+from repro.emu import run_executable
+from repro.workloads import bootloader, corpus, pincheck
+
+
+def roundtrip_behavior(exe, stdin=b""):
+    before = run_executable(exe, stdin=stdin)
+    module = disassemble(exe)
+    after = run_executable(reassemble(module), stdin=stdin)
+    return before, after
+
+
+class TestCorpusRoundtrips:
+    @pytest.mark.parametrize("name", ["exit42", "arith", "stack_ops",
+                                      "call_ret", "indirect", "memwrites",
+                                      "setcc_cmov"])
+    def test_behavior_preserved(self, name):
+        before, after = roundtrip_behavior(corpus.build(name))
+        assert before.behavior() == after.behavior()
+
+    def test_echo_roundtrip(self):
+        before, after = roundtrip_behavior(corpus.build("echo4"),
+                                           stdin=b"wxyz")
+        assert before.behavior() == after.behavior()
+
+
+class TestCaseStudyRoundtrips:
+    def test_pincheck_good_and_bad(self):
+        wl = pincheck.workload()
+        exe = wl.build()
+        module = disassemble(exe)
+        rebuilt = reassemble(module)
+        for stdin in (wl.good_input, wl.bad_input):
+            before = run_executable(exe, stdin=stdin)
+            after = run_executable(rebuilt, stdin=stdin)
+            assert before.behavior() == after.behavior()
+
+    def test_bootloader_good_and_bad(self):
+        wl = bootloader.workload()
+        exe = wl.build()
+        rebuilt = reassemble(disassemble(exe))
+        for stdin in (wl.good_input, wl.bad_input):
+            before = run_executable(exe, stdin=stdin)
+            after = run_executable(rebuilt, stdin=stdin)
+            assert before.behavior() == after.behavior()
+
+    def test_stripped_binary_roundtrip(self):
+        wl = pincheck.workload()
+        exe = wl.build().stripped()
+        rebuilt = reassemble(disassemble(exe))
+        result = run_executable(rebuilt, stdin=wl.good_input)
+        assert wl.grant_marker in result.stdout
+
+    def test_double_roundtrip(self):
+        wl = pincheck.workload()
+        once = reassemble(disassemble(wl.build()))
+        twice = reassemble(disassemble(once))
+        result = run_executable(twice, stdin=wl.good_input)
+        assert wl.grant_marker in result.stdout
+
+
+class TestModuleStructure:
+    def test_blocks_and_symbols(self):
+        wl = pincheck.workload()
+        module = disassemble(wl.build())
+        text = module.text()
+        assert len(text.code_blocks()) >= 5
+        assert module.entry is not None
+        assert module.has_symbol("expected_pin")
+
+    def test_branch_symbolized(self):
+        wl = pincheck.workload()
+        module = disassemble(wl.build())
+        branch_exprs = [
+            entry.sym_operands[0]
+            for block in module.text().code_blocks()
+            for entry in block.entries
+            if entry.insn.is_branch and 0 in entry.sym_operands
+        ]
+        assert branch_exprs, "no symbolized branches found"
+        assert all(e.kind == "branch" for e in branch_exprs)
+
+    def test_pointer_table_symbolized(self):
+        module = disassemble(corpus.build("indirect"))
+        sym_words = module.aux["symbolized_words"]
+        assert sym_words >= 1  # the .quad set9 entry
+
+    def test_pretty_print_is_parseable_text(self):
+        wl = bootloader.workload()
+        text = pretty_print(disassemble(wl.build()))
+        assert ".section .text" in text
+        assert ".entry" in text
+        assert "syscall" in text
+
+
+class TestSymbolizationModes:
+    def test_refined_preserves_decoy(self):
+        """The planted decoy constant survives refined rewriting."""
+        from repro.emu import run_executable
+        wl = bootloader.workload()
+        exe = wl.build()
+        rebuilt = reassemble(disassemble(exe, mode="refined"))
+        result = run_executable(rebuilt, stdin=wl.good_input)
+        assert wl.grant_marker in result.stdout
+
+    def test_naive_symbolizes_more_words(self):
+        wl = bootloader.workload()
+        exe = wl.build()
+        refined = disassemble(exe, mode="refined")
+        naive = disassemble(exe, mode="naive")
+        assert naive.aux["symbolized_words"] >= \
+            refined.aux["symbolized_words"]

@@ -1,0 +1,42 @@
+"""Extended corpus programs: emulator + rewriting round trips."""
+
+import pytest
+
+from repro.disasm import disassemble, reassemble
+from repro.emu import run_executable
+from repro.workloads import corpus
+
+EXPECTED = {
+    "shifts_by_cl": 40,
+    "unary_ops": 10,
+    "push_mem": 21,
+    "jump_table": 5,
+    "byte_loop": 44,
+}
+
+
+class TestExtendedCorpus:
+    @pytest.mark.parametrize("name,expected", sorted(EXPECTED.items()))
+    def test_emulation(self, name, expected):
+        assert run_executable(corpus.build(name)).exit_code == expected
+
+    @pytest.mark.parametrize("name,expected", sorted(EXPECTED.items()))
+    def test_reassembly_roundtrip(self, name, expected):
+        rebuilt = reassemble(disassemble(corpus.build(name)))
+        assert run_executable(rebuilt).exit_code == expected
+
+    @pytest.mark.parametrize("name", ["shifts_by_cl", "unary_ops",
+                                      "byte_loop"])
+    def test_lift_lower_roundtrip(self, name):
+        from repro.lower import lower_executable
+        exe = corpus.build(name)
+        lowered = lower_executable(exe)
+        assert run_executable(lowered).exit_code == \
+            run_executable(exe).exit_code
+
+    def test_jump_table_not_liftable(self):
+        """Indirect jumps are a documented lifter limitation."""
+        from repro.errors import LiftError
+        from repro.lift import Lifter
+        with pytest.raises(LiftError, match="indirect"):
+            Lifter(corpus.build("jump_table")).lift()

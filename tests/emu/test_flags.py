@@ -1,0 +1,153 @@
+"""Property tests for RFLAGS semantics against a reference model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.emu.flagops import Flags
+from repro.isa.cond import Cond
+
+
+def u(bits):
+    return st.integers(0, (1 << bits) - 1)
+
+
+WIDTHS = st.sampled_from([8, 32, 64])
+
+
+class TestAddSub:
+    @given(u(64), u(64), WIDTHS)
+    @settings(max_examples=300)
+    def test_add_reference(self, a, b, bits):
+        mask = (1 << bits) - 1
+        a &= mask
+        b &= mask
+        flags = Flags()
+        result = flags.set_add(a, b, bits)
+        assert result == (a + b) & mask
+        assert flags.cf == (a + b > mask)
+        assert flags.zf == (result == 0)
+        assert flags.sf == bool(result >> (bits - 1))
+        # signed overflow reference
+        sa = a - (1 << bits) if a >> (bits - 1) else a
+        sb = b - (1 << bits) if b >> (bits - 1) else b
+        total = sa + sb
+        overflowed = not (-(1 << (bits - 1)) <= total
+                          < (1 << (bits - 1)))
+        assert flags.of == overflowed
+
+    @given(u(64), u(64), WIDTHS)
+    @settings(max_examples=300)
+    def test_sub_reference(self, a, b, bits):
+        mask = (1 << bits) - 1
+        a &= mask
+        b &= mask
+        flags = Flags()
+        result = flags.set_sub(a, b, bits)
+        assert result == (a - b) & mask
+        assert flags.cf == (a < b)
+        assert flags.zf == (a == b)
+        sa = a - (1 << bits) if a >> (bits - 1) else a
+        sb = b - (1 << bits) if b >> (bits - 1) else b
+        diff = sa - sb
+        overflowed = not (-(1 << (bits - 1)) <= diff
+                          < (1 << (bits - 1)))
+        assert flags.of == overflowed
+
+    @given(u(64), WIDTHS)
+    @settings(max_examples=100)
+    def test_inc_preserves_cf(self, a, bits):
+        a &= (1 << bits) - 1
+        for carry in (False, True):
+            flags = Flags()
+            flags.cf = carry
+            flags.set_inc(a, bits)
+            assert flags.cf == carry
+
+    @given(u(64), WIDTHS)
+    @settings(max_examples=100)
+    def test_neg(self, a, bits):
+        a &= (1 << bits) - 1
+        flags = Flags()
+        result = flags.set_neg(a, bits)
+        assert result == (-a) & ((1 << bits) - 1)
+        assert flags.cf == (a != 0)
+
+
+class TestShifts:
+    @given(u(64), st.integers(1, 63))
+    @settings(max_examples=200)
+    def test_shl_carry_is_last_bit_out(self, a, count):
+        flags = Flags()
+        result = flags.set_shl(a, count, 64)
+        assert result == (a << count) & ((1 << 64) - 1)
+        assert flags.cf == bool((a >> (64 - count)) & 1)
+
+    @given(u(64), st.integers(1, 63))
+    @settings(max_examples=200)
+    def test_shr_carry(self, a, count):
+        flags = Flags()
+        result = flags.set_shr(a, count, 64)
+        assert result == a >> count
+        assert flags.cf == bool((a >> (count - 1)) & 1)
+
+    @given(u(64), st.integers(1, 63))
+    @settings(max_examples=200)
+    def test_sar_sign_fills(self, a, count):
+        flags = Flags()
+        result = flags.set_sar(a, count, 64)
+        signed = a - (1 << 64) if a >> 63 else a
+        assert result == (signed >> count) & ((1 << 64) - 1)
+
+    @given(u(64))
+    def test_zero_count_is_noop(self, a):
+        flags = Flags()
+        flags.zf = True
+        assert flags.set_shl(a, 0, 64) == a
+        assert flags.zf  # flags untouched
+
+
+class TestRflagsImage:
+    @given(st.booleans(), st.booleans(), st.booleans(), st.booleans(),
+           st.booleans(), st.booleans())
+    def test_roundtrip(self, cf, pf, af, zf, sf, of):
+        flags = Flags()
+        flags.cf, flags.pf, flags.af = cf, pf, af
+        flags.zf, flags.sf, flags.of = zf, sf, of
+        image = flags.to_rflags()
+        assert image & 0x2  # reserved bit always set
+        other = Flags()
+        other.from_rflags(image)
+        for name in ("cf", "pf", "af", "zf", "sf", "of"):
+            assert getattr(other, name) == getattr(flags, name)
+
+    def test_parity_of_low_byte_only(self):
+        flags = Flags()
+        flags.set_logic_result(0x1FF00, 32)  # low byte 0x00: even parity
+        assert flags.pf
+
+
+class TestCondEvaluation:
+    @given(u(64), u(64))
+    @settings(max_examples=300)
+    def test_conditions_match_comparison_semantics(self, a, b):
+        flags = Flags()
+        flags.set_sub(a, b, 64)
+        sa = a - (1 << 64) if a >> 63 else a
+        sb = b - (1 << 64) if b >> 63 else b
+        assert Cond.E.evaluate(flags) == (a == b)
+        assert Cond.NE.evaluate(flags) == (a != b)
+        assert Cond.B.evaluate(flags) == (a < b)
+        assert Cond.AE.evaluate(flags) == (a >= b)
+        assert Cond.A.evaluate(flags) == (a > b)
+        assert Cond.BE.evaluate(flags) == (a <= b)
+        assert Cond.L.evaluate(flags) == (sa < sb)
+        assert Cond.GE.evaluate(flags) == (sa >= sb)
+        assert Cond.G.evaluate(flags) == (sa > sb)
+        assert Cond.LE.evaluate(flags) == (sa <= sb)
+
+    @given(st.sampled_from(list(Cond)), u(64), u(64))
+    @settings(max_examples=200)
+    def test_inversion_is_complement(self, cond, a, b):
+        flags = Flags()
+        flags.set_sub(a, b, 64)
+        assert cond.evaluate(flags) != cond.inverted.evaluate(flags)

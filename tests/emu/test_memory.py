@@ -1,0 +1,100 @@
+"""Memory model and write-journal property tests."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.emu.memory import Memory
+from repro.errors import MemoryFault
+
+BASE = 0x10000
+
+
+def fresh(size=0x3000, flags="rw"):
+    memory = Memory()
+    memory.map(BASE, size, flags)
+    return memory
+
+
+class TestBasics:
+    def test_read_back(self):
+        memory = fresh()
+        memory.write(BASE + 5, b"hello")
+        assert memory.read(BASE + 5, 5) == b"hello"
+
+    def test_zero_initialized(self):
+        assert fresh().read(BASE, 16) == bytes(16)
+
+    def test_cross_page_access(self):
+        memory = fresh()
+        data = bytes(range(64))
+        memory.write(BASE + 0xFE0, data)
+        assert memory.read(BASE + 0xFE0, 64) == data
+
+    def test_unmapped_read_faults(self):
+        with pytest.raises(MemoryFault):
+            fresh().read(0x9999_0000, 1)
+
+    def test_write_to_readonly_faults(self):
+        memory = fresh(flags="r")
+        with pytest.raises(MemoryFault):
+            memory.write(BASE, b"x")
+
+    def test_fetch_requires_execute(self):
+        memory = fresh(flags="rw")
+        with pytest.raises(MemoryFault):
+            memory.fetch(BASE, 4)
+        executable = fresh(flags="rx")
+        assert executable.fetch(BASE, 4) == bytes(4)
+
+    def test_u64_helpers(self):
+        memory = fresh()
+        memory.write_u64(BASE, 0x1122334455667788)
+        assert memory.read_u64(BASE) == 0x1122334455667788
+
+
+class TestJournal:
+    @given(st.lists(
+        st.tuples(st.integers(0, 0x2FF0),
+                  st.binary(min_size=1, max_size=16)),
+        min_size=1, max_size=32))
+    @settings(max_examples=150, deadline=None)
+    def test_rollback_restores_exact_state(self, writes):
+        memory = fresh()
+        memory.write(BASE, bytes(range(256)))  # pre-journal content
+        snapshot = memory.read(BASE, 0x3000)
+        memory.journal_begin()
+        for offset, data in writes:
+            memory.write(BASE + offset, data)
+        memory.journal_rollback()
+        assert memory.read(BASE, 0x3000) == snapshot
+
+    @given(st.lists(
+        st.tuples(st.integers(0, 0x2FF0),
+                  st.binary(min_size=1, max_size=16)),
+        min_size=1, max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_discard_keeps_writes(self, writes):
+        memory = fresh()
+        memory.journal_begin()
+        for offset, data in writes:
+            memory.write(BASE + offset, data)
+        memory.journal_discard()
+        for offset, data in writes[-1:]:
+            assert memory.read(BASE + offset, len(data)) == data
+
+    def test_overlapping_writes_rollback_in_order(self):
+        memory = fresh()
+        memory.write(BASE, b"AAAA")
+        memory.journal_begin()
+        memory.write(BASE, b"BBBB")
+        memory.write(BASE + 1, b"CC")
+        memory.write(BASE, b"DDDD")
+        memory.journal_rollback()
+        assert memory.read(BASE, 4) == b"AAAA"
+
+    def test_rollback_without_journal_is_noop(self):
+        memory = fresh()
+        memory.write(BASE, b"xy")
+        memory.journal_rollback()
+        assert memory.read(BASE, 2) == b"xy"

@@ -1,0 +1,73 @@
+"""Parallel campaign driver: results must match the sequential run."""
+
+import pytest
+
+from repro.faulter import Faulter
+from repro.faulter.parallel import _split, merge_reports, \
+    run_parallel_campaign
+from repro.workloads import pincheck
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return pincheck.workload()
+
+
+class TestSplit:
+    def test_windows_cover_everything(self):
+        for total in (1, 7, 100, 101):
+            for parts in (1, 2, 3, 8):
+                windows = _split(total, parts)
+                seen = [i for w in windows for i in w]
+                assert seen == list(range(total))
+
+    def test_windows_disjoint(self):
+        windows = _split(50, 4)
+        flattened = [i for w in windows for i in w]
+        assert len(flattened) == len(set(flattened))
+
+
+class TestParallelEqualsSequential:
+    @pytest.mark.parametrize("model", ["skip", "bitflip"])
+    def test_same_results(self, wl, model):
+        exe = wl.build()
+        sequential = Faulter(exe, wl.good_input, wl.bad_input,
+                             wl.grant_marker,
+                             name=wl.name).run_campaign(model)
+        parallel = run_parallel_campaign(
+            exe, wl.good_input, wl.bad_input, wl.grant_marker,
+            model=model, name=wl.name, workers=3)
+        assert parallel.total_faults == sequential.total_faults
+        assert parallel.outcomes == sequential.outcomes
+        assert [(f.trace_index, f.address, f.detail)
+                for f in parallel.successes] == \
+            sorted([(f.trace_index, f.address, f.detail)
+                    for f in sequential.successes])
+
+    def test_accepts_elf_bytes(self, wl):
+        from repro.binfmt.writer import write_elf
+        report = run_parallel_campaign(
+            write_elf(wl.build()), wl.good_input, wl.bad_input,
+            wl.grant_marker, model="skip", workers=2)
+        assert report.vulnerable
+
+    def test_single_worker_falls_back(self, wl):
+        report = run_parallel_campaign(
+            wl.build(), wl.good_input, wl.bad_input, wl.grant_marker,
+            model="skip", workers=1)
+        assert report.total_faults == report.trace_length
+
+
+class TestMerge:
+    def test_merge_sums_counters(self, wl):
+        exe = wl.build()
+        faulter = Faulter(exe, wl.good_input, wl.bad_input,
+                          wl.grant_marker, name=wl.name)
+        first = faulter.run_campaign("skip", trace_window=range(0, 10))
+        second = faulter.run_campaign("skip",
+                                      trace_window=range(10, 23))
+        merged = merge_reports([first, second], name=wl.name,
+                               model="skip", trace_length=23)
+        full = faulter.run_campaign("skip")
+        assert merged.total_faults == full.total_faults
+        assert merged.outcomes == full.outcomes

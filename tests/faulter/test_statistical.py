@@ -1,0 +1,70 @@
+"""Statistical fault injection: sizing formula and estimates."""
+
+import pytest
+
+from repro.faulter import Faulter
+from repro.faulter.statistical import (
+    StatisticalEstimate, estimate_vulnerability, required_samples)
+from repro.workloads import pincheck
+
+
+@pytest.fixture(scope="module")
+def faulter():
+    wl = pincheck.workload()
+    return Faulter(wl.build(), wl.good_input, wl.bad_input,
+                   wl.grant_marker, name=wl.name)
+
+
+class TestSampleSizing:
+    def test_classic_asymptotic_values(self):
+        # the textbook n = z^2 p(1-p)/e^2 values at large N
+        assert required_samples(10**9, 0.05, 0.95) == 385
+        assert abs(required_samples(10**9, 0.01, 0.95) - 9604) <= 1
+
+    def test_finite_population_correction(self):
+        # small populations need far fewer samples
+        assert required_samples(1000, 0.05, 0.95) < 300
+        assert required_samples(100, 0.05, 0.95) < 100
+
+    def test_never_exceeds_population(self):
+        for population in (1, 10, 50):
+            assert required_samples(population, 0.001, 0.99) <= \
+                population
+
+    def test_rejects_unknown_confidence(self):
+        with pytest.raises(ValueError):
+            required_samples(100, 0.05, confidence=0.42)
+
+
+class TestEstimates:
+    def test_estimate_contains_exhaustive_truth(self, faulter):
+        exhaustive = faulter.run_campaign("bitflip")
+        truth = exhaustive.outcomes["success"] / exhaustive.total_faults
+        estimate = estimate_vulnerability(faulter, "bitflip",
+                                          margin=0.02, seed=11)
+        low, high = estimate.interval
+        assert low <= truth <= high, (
+            f"truth {truth:.4f} outside [{low:.4f}, {high:.4f}]")
+        assert estimate.population == exhaustive.total_faults
+
+    def test_full_sampling_equals_exhaustive(self, faulter):
+        exhaustive = faulter.run_campaign("skip")
+        estimate = estimate_vulnerability(
+            faulter, "skip", samples=10**9, seed=0)
+        assert estimate.samples == estimate.population
+        assert estimate.successes == exhaustive.outcomes["success"]
+        assert estimate.margin == 0.0  # no sampling error left
+
+    def test_deterministic_for_seed(self, faulter):
+        first = estimate_vulnerability(faulter, "bitflip",
+                                       samples=150, seed=5)
+        second = estimate_vulnerability(faulter, "bitflip",
+                                        samples=150, seed=5)
+        assert first.successes == second.successes
+        assert first.point == second.point
+
+    def test_summary_renders(self, faulter):
+        estimate = estimate_vulnerability(faulter, "skip", samples=10)
+        text = estimate.summary()
+        assert "confidence" in text
+        assert "population" in text

@@ -1,0 +1,54 @@
+"""Decoder robustness: arbitrary bytes either decode or raise cleanly.
+
+The faulter feeds mutated encodings straight into the decoder, so any
+byte soup must produce either an Instruction or DecodingError — never
+IndexError/KeyError/ValueError.  This is the property that makes the
+single-bit-flip model safe to run exhaustively.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.errors import DecodingError
+from repro.isa import decode, encode
+from repro.isa.encoder import encoded_length
+
+from tests.isa.test_roundtrip import any_instruction
+
+
+@given(st.binary(min_size=1, max_size=15))
+@settings(max_examples=2000, deadline=None)
+def test_random_bytes_decode_or_raise(blob):
+    try:
+        insn = decode(blob, 0, 0x401000)
+    except DecodingError:
+        return
+    assert 1 <= insn.length <= len(blob)
+    assert insn.raw == blob[:insn.length]
+
+
+@given(any_instruction(), st.integers(0, 14 * 8 - 1))
+@settings(max_examples=1000, deadline=None)
+def test_bitflips_of_valid_encodings(instruction, bit):
+    code = bytearray(encode(instruction) + bytes(15))
+    if bit >= len(code) * 8:
+        return
+    code[bit // 8] ^= 1 << (bit % 8)
+    try:
+        mutated = decode(bytes(code), 0, 0x401000)
+    except DecodingError:
+        return
+    # a successfully decoded mutant must re-encode without crashing
+    # (unless it used a non-canonical form, which re-encodes differently
+    # but must still not raise unexpected exception types)
+    from repro.errors import EncodingError
+    try:
+        encode(mutated)
+    except EncodingError:
+        pass
+
+
+@given(any_instruction())
+@settings(max_examples=300, deadline=None)
+def test_encoded_length_matches_encode(instruction):
+    assert encoded_length(instruction) == len(encode(instruction))

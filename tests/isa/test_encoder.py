@@ -1,0 +1,172 @@
+"""Golden-byte tests for the encoder against GNU as reference encodings."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa import Cond, Imm, Mem, Mnemonic, Reg, encode, reg
+from repro.isa.insn import insn
+from repro.isa.registers import RIP
+
+RAX = Reg(reg("rax"))
+RBX = Reg(reg("rbx"))
+RCX = Reg(reg("rcx"))
+RSP = Reg(reg("rsp"))
+RBP = Reg(reg("rbp"))
+R8 = Reg(reg("r8"))
+R13 = Reg(reg("r13"))
+CL = Reg(reg("cl"))
+SIL = Reg(reg("sil"))
+EAX = Reg(reg("eax"))
+
+
+def b(*values):
+    return bytes(values)
+
+
+class TestMovEncodings:
+    def test_mov_reg_reg(self):
+        assert encode(insn(Mnemonic.MOV, RAX, RBX)) == b(0x48, 0x89, 0xD8)
+
+    def test_mov_reg_mem_disp8(self):
+        # mov rax, [rbx+4] -> 48 8B 43 04  (Table I original)
+        memop = Mem(base=reg("rbx"), disp=4, size=8)
+        assert encode(insn(Mnemonic.MOV, RAX, memop)) == b(0x48, 0x8B, 0x43, 0x04)
+
+    def test_mov_mem_reg(self):
+        memop = Mem(base=reg("rbx"), disp=4, size=8)
+        assert encode(insn(Mnemonic.MOV, memop, RAX)) == b(0x48, 0x89, 0x43, 0x04)
+
+    def test_mov_r64_imm32(self):
+        assert encode(insn(Mnemonic.MOV, RAX, Imm(1))) == b(
+            0x48, 0xC7, 0xC0, 0x01, 0x00, 0x00, 0x00)
+
+    def test_movabs(self):
+        code = encode(insn(Mnemonic.MOV, RAX, Imm(0x1122334455667788)))
+        assert code == b(0x48, 0xB8, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33,
+                         0x22, 0x11)
+
+    def test_mov_forced_imm64(self):
+        code = encode(insn(Mnemonic.MOV, RAX, Imm(0x10, 8)))
+        assert code[:2] == b(0x48, 0xB8)
+        assert len(code) == 10
+
+    def test_mov_r32_imm32(self):
+        assert encode(insn(Mnemonic.MOV, EAX, Imm(7))) == b(
+            0xB8, 0x07, 0x00, 0x00, 0x00)
+
+    def test_mov_rip_relative(self):
+        # mov rax, [rip+0x100] -> 48 8B 05 00 01 00 00
+        memop = Mem(base=RIP, disp=0x100, size=8)
+        assert encode(insn(Mnemonic.MOV, RAX, memop)) == b(
+            0x48, 0x8B, 0x05, 0x00, 0x01, 0x00, 0x00)
+
+    def test_mov_extended_regs(self):
+        # mov r8, r13 -> 4D 89 E8
+        assert encode(insn(Mnemonic.MOV, R8, R13)) == b(0x4D, 0x89, 0xE8)
+
+    def test_mov_byte_with_sil_needs_rex(self):
+        code = encode(insn(Mnemonic.MOV, SIL, CL))
+        assert code == b(0x40, 0x88, 0xCE)
+
+
+class TestMemoryForms:
+    def test_rsp_base_needs_sib(self):
+        # cmp rbx, [rsp] -> 48 3B 1C 24  (Table II pattern)
+        memop = Mem(base=reg("rsp"), size=8)
+        assert encode(insn(Mnemonic.CMP, RBX, memop)) == b(0x48, 0x3B, 0x1C, 0x24)
+
+    def test_rbp_base_needs_disp(self):
+        # mov rax, [rbp] -> 48 8B 45 00
+        memop = Mem(base=reg("rbp"), size=8)
+        assert encode(insn(Mnemonic.MOV, RAX, memop)) == b(0x48, 0x8B, 0x45, 0x00)
+
+    def test_r13_base_needs_disp(self):
+        memop = Mem(base=reg("r13"), size=8)
+        assert encode(insn(Mnemonic.MOV, RAX, memop)) == b(0x49, 0x8B, 0x45, 0x00)
+
+    def test_index_scale(self):
+        # mov rax, [rbx+rcx*8+16] -> 48 8B 44 CB 10
+        memop = Mem(base=reg("rbx"), index=reg("rcx"), scale=8, disp=16, size=8)
+        assert encode(insn(Mnemonic.MOV, RAX, memop)) == b(0x48, 0x8B, 0x44, 0xCB, 0x10)
+
+    def test_lea_red_zone_skip(self):
+        # lea rsp, [rsp-128] -> 48 8D 64 24 80  (Table II red zone)
+        memop = Mem(base=reg("rsp"), disp=-128, size=8)
+        assert encode(insn(Mnemonic.LEA, RSP, memop)) == b(0x48, 0x8D, 0x64, 0x24, 0x80)
+
+    def test_absolute_disp32(self):
+        memop = Mem(disp=0x601000, size=8)
+        assert encode(insn(Mnemonic.MOV, RAX, memop)) == b(
+            0x48, 0x8B, 0x04, 0x25, 0x00, 0x10, 0x60, 0x00)
+
+
+class TestStackAndFlags:
+    def test_push_pop(self):
+        assert encode(insn(Mnemonic.PUSH, RBX)) == b(0x53)
+        assert encode(insn(Mnemonic.POP, RBX)) == b(0x5B)
+        assert encode(insn(Mnemonic.PUSH, R8)) == b(0x41, 0x50)
+
+    def test_pushfq_popfq(self):
+        assert encode(insn(Mnemonic.PUSHFQ)) == b(0x9C)
+        assert encode(insn(Mnemonic.POPFQ)) == b(0x9D)
+
+
+class TestControlFlow:
+    def test_jmp_rel32(self):
+        assert encode(insn(Mnemonic.JMP, Imm(0x10))) == b(
+            0xE9, 0x10, 0x00, 0x00, 0x00)
+
+    def test_je_rel32(self):
+        assert encode(insn(Mnemonic.JCC, Imm(0x10), cond=Cond.E)) == b(
+            0x0F, 0x84, 0x10, 0x00, 0x00, 0x00)
+
+    def test_call_rel32(self):
+        assert encode(insn(Mnemonic.CALL, Imm(-5))) == b(
+            0xE8, 0xFB, 0xFF, 0xFF, 0xFF)
+
+    def test_ret(self):
+        assert encode(insn(Mnemonic.RET)) == b(0xC3)
+
+    def test_setcc(self):
+        # setb cl -> 0F 92 C1  (Table III "set cl")
+        assert encode(insn(Mnemonic.SETCC, CL, cond=Cond.B)) == b(0x0F, 0x92, 0xC1)
+
+    def test_indirect_call(self):
+        assert encode(insn(Mnemonic.CALL, RAX.register and Reg(reg("rax")))) == b(
+            0xFF, 0xD0)
+
+
+class TestAluAndMisc:
+    def test_cmp_imm8(self):
+        # cmp cl, 0 -> 80 F9 00  (Table III)
+        assert encode(insn(Mnemonic.CMP, CL, Imm(0))) == b(0x80, 0xF9, 0x00)
+
+    def test_cmp_imm32(self):
+        assert encode(insn(Mnemonic.CMP, RAX, Imm(0x1000))) == b(
+            0x48, 0x81, 0xF8, 0x00, 0x10, 0x00, 0x00)
+
+    def test_cmp_imm8_sign_extended(self):
+        assert encode(insn(Mnemonic.CMP, RAX, Imm(5))) == b(0x48, 0x83, 0xF8, 0x05)
+
+    def test_xor_reg_reg(self):
+        assert encode(insn(Mnemonic.XOR, RAX, RAX)) == b(0x48, 0x31, 0xC0)
+
+    def test_imul(self):
+        assert encode(insn(Mnemonic.IMUL, RAX, RBX)) == b(0x48, 0x0F, 0xAF, 0xC3)
+
+    def test_movzx(self):
+        assert encode(insn(Mnemonic.MOVZX, RAX, CL)) == b(0x48, 0x0F, 0xB6, 0xC1)
+
+    def test_shl_imm(self):
+        assert encode(insn(Mnemonic.SHL, RAX, Imm(5))) == b(0x48, 0xC1, 0xE0, 0x05)
+
+    def test_syscall(self):
+        assert encode(insn(Mnemonic.SYSCALL)) == b(0x0F, 0x05)
+
+    def test_fixed_rejects_operands(self):
+        with pytest.raises(EncodingError):
+            encode(insn(Mnemonic.RET, RAX))
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(insn(Mnemonic.MOV, RAX, CL))

@@ -1,0 +1,104 @@
+"""Instruction metadata (def/use) and condition-code unit tests."""
+
+import pytest
+
+from repro.isa import Cond, Imm, Mem, Mnemonic, Reg, reg
+from repro.isa.cond import cond_from_suffix
+from repro.isa.insn import insn
+from repro.isa.metadata import effects
+from repro.isa.registers import parent_gpr, sub_register
+
+RAX, RBX, RCX, RSP = (reg(n) for n in ("rax", "rbx", "rcx", "rsp"))
+
+
+class TestEffects:
+    def test_mov_reg_reg(self):
+        eff = effects(insn(Mnemonic.MOV, Reg(RAX), Reg(RBX)))
+        assert RBX in eff.reads
+        assert RAX in eff.writes
+        assert RAX not in eff.reads
+
+    def test_mov_load_reads_memory_and_base(self):
+        memop = Mem(base=RBX, disp=8, size=8)
+        eff = effects(insn(Mnemonic.MOV, Reg(RAX), memop))
+        assert eff.reads_memory and not eff.writes_memory
+        assert RBX in eff.reads
+
+    def test_store_writes_memory(self):
+        memop = Mem(base=RBX, size=8)
+        eff = effects(insn(Mnemonic.MOV, memop, Reg(RAX)))
+        assert eff.writes_memory and not eff.reads_memory
+
+    def test_alu_reads_both(self):
+        eff = effects(insn(Mnemonic.ADD, Reg(RAX), Reg(RBX)))
+        assert {RAX, RBX} <= set(eff.reads)
+        assert RAX in eff.writes
+        assert eff.writes_flags
+
+    def test_cmp_writes_nothing(self):
+        eff = effects(insn(Mnemonic.CMP, Reg(RAX), Imm(1)))
+        assert not eff.writes
+        assert eff.writes_flags
+
+    def test_push_touches_rsp_and_memory(self):
+        eff = effects(insn(Mnemonic.PUSH, Reg(RBX)))
+        assert RSP in eff.reads and RSP in eff.writes
+        assert eff.writes_memory
+
+    def test_jcc_reads_flags_only(self):
+        eff = effects(insn(Mnemonic.JCC, Imm(0), cond=Cond.E))
+        assert eff.reads_flags
+        assert not eff.reads and not eff.writes
+
+    def test_syscall_convention(self):
+        eff = effects(insn(Mnemonic.SYSCALL))
+        assert reg("rax") in eff.reads
+        assert reg("rdi") in eff.reads
+        assert reg("rcx") in eff.writes
+        assert reg("r11") in eff.writes
+
+    def test_subregister_normalized_to_parent(self):
+        eff = effects(insn(Mnemonic.MOV, Reg(reg("al")), Imm(1)))
+        assert reg("rax") in eff.writes
+
+    def test_lea_does_not_read_memory(self):
+        memop = Mem(base=RBX, index=RCX, scale=4, disp=8, size=8)
+        eff = effects(insn(Mnemonic.LEA, Reg(RAX), memop))
+        assert not eff.reads_memory
+        assert {RBX, RCX} <= set(eff.reads)
+
+
+class TestCondParsing:
+    @pytest.mark.parametrize("suffix,expected", [
+        ("e", Cond.E), ("z", Cond.E), ("ne", Cond.NE), ("nz", Cond.NE),
+        ("b", Cond.B), ("c", Cond.B), ("nae", Cond.B),
+        ("ae", Cond.AE), ("nb", Cond.AE), ("nc", Cond.AE),
+        ("a", Cond.A), ("nbe", Cond.A), ("be", Cond.BE),
+        ("l", Cond.L), ("nge", Cond.L), ("ge", Cond.GE),
+        ("g", Cond.G), ("nle", Cond.G), ("le", Cond.LE),
+    ])
+    def test_aliases(self, suffix, expected):
+        assert cond_from_suffix(suffix) is expected
+
+    def test_unknown_suffix(self):
+        with pytest.raises(KeyError):
+            cond_from_suffix("xx")
+
+    def test_all_conditions_have_distinct_encodings(self):
+        assert len({c.value for c in Cond}) == 16
+
+
+class TestRegisters:
+    def test_sub_register_views(self):
+        assert sub_register(RAX, 4).name == "eax"
+        assert sub_register(RAX, 1).name == "al"
+        assert sub_register(reg("r8"), 1).name == "r8b"
+
+    def test_parent(self):
+        assert parent_gpr(reg("cl")) is RCX
+        assert parent_gpr(reg("r10d")).name == "r10"
+
+    def test_rex_requirements(self):
+        assert reg("sil").needs_rex_presence
+        assert not reg("cl").needs_rex_presence
+        assert reg("r9").needs_rex_bit

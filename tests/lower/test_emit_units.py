@@ -1,0 +1,117 @@
+"""Emitter unit tests: syscall parallel moves, section pinning."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.asm.source import Program
+from repro.emu import run_executable
+from repro.errors import LinkError
+from repro.isa.registers import reg
+from repro.lower.emit import Emitter
+from repro.lower.mir import MBlock, MFunction, MImm, MInsn
+
+
+def emitter_for(mfn):
+    original = assemble("""
+    .text
+    .global _start
+    _start:
+        mov rax, 60
+        mov rdi, 0
+        syscall
+    """)
+    return Emitter(mfn, frame_slots=0, original=original)
+
+
+def run_mir(mfn, stdin=b""):
+    program = emitter_for(mfn).emit()
+    return run_executable(assemble(program), stdin=stdin)
+
+
+class TestSyscallParallelMoves:
+    def _exit_syscall(self, block, code_source):
+        rax = reg("rax")
+        block.append(MInsn("syscall",
+                           [rax, MImm(60), code_source, MImm(0),
+                            MImm(0)]))
+        block.append(MInsn("hlt", []))
+
+    def test_plain_immediates(self):
+        mfn = MFunction("f")
+        block = MBlock("entry")
+        mfn.blocks.append(block)
+        self._exit_syscall(block, MImm(31))
+        assert run_mir(mfn).exit_code == 31
+
+    def test_argument_in_target_register(self):
+        """exit code sourced from rdi itself: the expansion must not
+        clobber it while loading rax."""
+        mfn = MFunction("f")
+        block = MBlock("entry")
+        mfn.blocks.append(block)
+        rdi = reg("rdi")
+        block.append(MInsn("mov", [rdi, MImm(55)]))
+        self._exit_syscall(block, rdi)
+        assert run_mir(mfn).exit_code == 55
+
+    def test_swapped_arguments_cycle(self):
+        """rax <- rdi while rdi <- rax forms a cycle the emitter must
+        break through rcx."""
+        mfn = MFunction("f")
+        block = MBlock("entry")
+        mfn.blocks.append(block)
+        rax, rdi = reg("rax"), reg("rdi")
+        block.append(MInsn("mov", [rax, MImm(44)]))   # future exit code
+        block.append(MInsn("mov", [rdi, MImm(60)]))   # future sysno
+        block.append(MInsn("syscall",
+                           [rax, rdi, rax, MImm(0), MImm(0)]))
+        block.append(MInsn("hlt", []))
+        assert run_mir(mfn).exit_code == 44
+
+
+class TestSectionPinning:
+    def test_pinned_sections_keep_addresses(self):
+        program = Program()
+        program.text_base = 0x480000
+        items = program.items(".text")
+        from repro.asm.source import InsnStmt, LabelDef
+        from repro.isa.insn import Instruction, Mnemonic
+        from repro.isa.operands import Imm, Reg
+        items.append(LabelDef("_start"))
+        items.append(InsnStmt(Instruction(
+            Mnemonic.MOV, (Reg(reg("rax")), Imm(60)))))
+        items.append(InsnStmt(Instruction(
+            Mnemonic.MOV, (Reg(reg("rdi")), Imm(0)))))
+        items.append(InsnStmt(Instruction(Mnemonic.SYSCALL, ())))
+        program.items(".gdata").append(
+            __import__("repro.asm.source",
+                       fromlist=["DataStmt"]).DataStmt([b"payload"]))
+        program.section_addresses[".gdata"] = 0x402000
+        exe = assemble(program)
+        assert exe.section(".text").addr == 0x480000
+        assert exe.section(".gdata").addr == 0x402000
+
+    def test_overlapping_pins_rejected(self):
+        program = Program()
+        from repro.asm.source import DataStmt, InsnStmt, LabelDef
+        from repro.isa.insn import Instruction, Mnemonic
+        program.items(".text").append(LabelDef("_start"))
+        program.items(".text").append(
+            InsnStmt(Instruction(Mnemonic.RET, ())))
+        program.items(".a").append(DataStmt([bytes(64)]))
+        program.items(".b").append(DataStmt([bytes(64)]))
+        program.section_addresses[".a"] = 0x402000
+        program.section_addresses[".b"] = 0x402020  # inside .a
+        with pytest.raises(LinkError, match="overlap"):
+            assemble(program)
+
+    def test_lowered_binary_keeps_guest_data_addresses(self):
+        from repro.lower import lower_executable
+        from repro.workloads import bootloader
+        wl = bootloader.workload()
+        exe = wl.build()
+        lowered = lower_executable(exe)
+        guest_data = exe.section(".data")
+        pinned = lowered.section(".guest_data")
+        assert pinned.addr == guest_data.addr
+        assert pinned.data[:len(guest_data.data)] == guest_data.data

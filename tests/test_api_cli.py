@@ -1,0 +1,107 @@
+"""Top-level API and command-line interface tests."""
+
+import pytest
+
+from repro.api import (
+    APPROACHES, find_vulnerabilities, harden_binary, hardened_elf)
+from repro.binfmt import read_elf, write_elf
+from repro.cli import main
+from repro.emu import run_executable
+from repro.workloads import pincheck
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return pincheck.workload()
+
+
+class TestAPI:
+    def test_find_vulnerabilities(self, wl):
+        reports = find_vulnerabilities(
+            wl.build(), wl.good_input, wl.bad_input, wl.grant_marker,
+            models=("skip",))
+        assert reports["skip"].vulnerable
+
+    def test_accepts_raw_elf_bytes(self, wl):
+        blob = write_elf(wl.build())
+        reports = find_vulnerabilities(
+            blob, wl.good_input, wl.bad_input, wl.grant_marker,
+            models=("skip",))
+        assert reports["skip"].total_faults > 0
+
+    def test_harden_faulter_patcher(self, wl):
+        result = harden_binary(
+            wl.build(), wl.good_input, wl.bad_input, wl.grant_marker,
+            approach="faulter+patcher")
+        assert result.converged
+        rebuilt = read_elf(hardened_elf(result))
+        good = run_executable(rebuilt, stdin=wl.good_input)
+        assert wl.grant_marker in good.stdout
+
+    def test_harden_hybrid(self, wl):
+        result = harden_binary(
+            wl.build(), wl.good_input, wl.bad_input, wl.grant_marker,
+            approach="hybrid")
+        rebuilt = read_elf(hardened_elf(result))
+        good = run_executable(rebuilt, stdin=wl.good_input)
+        assert wl.grant_marker in good.stdout
+
+    def test_unknown_approach(self, wl):
+        with pytest.raises(ValueError, match="faulter"):
+            harden_binary(wl.build(), wl.good_input, wl.bad_input,
+                          wl.grant_marker, approach="magic")
+        assert "hybrid" in APPROACHES
+
+
+class TestCLI:
+    def test_demo_pincheck(self, capsys, tmp_path):
+        out = tmp_path / "hardened.elf"
+        code = main(["demo", "pincheck", "--approach", "faulter+patcher",
+                     "-o", str(out)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "converged: True" in captured.out
+        assert out.exists()
+        rebuilt = read_elf(out.read_bytes())
+        assert run_executable(rebuilt, stdin=b"1234").exit_code == 0
+
+    def test_fault_subcommand(self, capsys, tmp_path, wl):
+        target = tmp_path / "t.elf"
+        target.write_bytes(write_elf(wl.build()))
+        code = main(["fault", str(target),
+                     "--good", "text:1234", "--bad", "text:6789",
+                     "--marker", "ACCESS GRANTED"])
+        assert code == 1  # vulnerable -> nonzero
+        assert "vulnerable points" in capsys.readouterr().out
+
+    def test_harden_subcommand(self, capsys, tmp_path, wl):
+        target = tmp_path / "t.elf"
+        output = tmp_path / "out.elf"
+        target.write_bytes(write_elf(wl.build()))
+        code = main(["harden", str(target), "-o", str(output),
+                     "--good", "text:1234", "--bad", "text:6789",
+                     "--marker", "ACCESS GRANTED"])
+        assert code == 0
+        assert output.exists()
+
+    def test_run_subcommand(self, capsys, tmp_path, wl):
+        target = tmp_path / "t.elf"
+        target.write_bytes(write_elf(wl.build()))
+        code = main(["run", str(target), "--stdin", "text:1234"])
+        assert code == 0
+        assert "ACCESS GRANTED" in capsys.readouterr().out
+
+    def test_disasm_subcommand(self, capsys, tmp_path, wl):
+        target = tmp_path / "t.elf"
+        target.write_bytes(write_elf(wl.build()))
+        assert main(["disasm", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert ".section .text" in out
+        assert "expected_pin" in out
+
+    def test_hex_input_decoding(self, capsys, tmp_path, wl):
+        target = tmp_path / "t.elf"
+        target.write_bytes(write_elf(wl.build()))
+        code = main(["run", str(target), "--stdin", "31323334"])
+        assert code == 0
+        assert "GRANTED" in capsys.readouterr().out

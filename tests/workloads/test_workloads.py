@@ -1,0 +1,86 @@
+"""Workload self-checks (both minimal and rich variants)."""
+
+import pytest
+
+from repro.emu import run_executable
+from repro.workloads import bootloader, corpus, pincheck
+
+
+class TestPincheckVariants:
+    @pytest.mark.parametrize("rich", [False, True])
+    def test_grant_and_deny(self, rich):
+        wl = pincheck.workload(rich=rich)
+        exe = wl.build()
+        good = run_executable(exe, stdin=wl.good_input)
+        bad = run_executable(exe, stdin=wl.bad_input)
+        assert wl.grant_marker in good.stdout
+        assert good.exit_code == 0
+        assert wl.grant_marker not in bad.stdout
+        assert bad.exit_code == 1
+
+    def test_rich_is_bigger(self):
+        assert pincheck.build(rich=True).code_size() > \
+            2 * pincheck.build().code_size()
+
+    def test_rich_rejects_non_digits(self):
+        wl = pincheck.workload(rich=True)
+        result = run_executable(wl.build(), stdin=b"12a4")
+        assert b"DENIED" in result.stdout
+
+    def test_rich_audit_log_on_stderr(self):
+        wl = pincheck.workload(rich=True)
+        result = run_executable(wl.build(), stdin=wl.good_input)
+        assert b"[audit] auth attempt" in result.stderr
+        assert b"result=grant" in result.stderr
+
+    def test_wrong_pin_validation(self):
+        with pytest.raises(ValueError):
+            pincheck.workload(pin="1234", wrong_pin="12345")
+
+
+class TestBootloaderVariants:
+    @pytest.mark.parametrize("rich", [False, True])
+    def test_boot_and_fail(self, rich):
+        wl = bootloader.workload(rich=rich)
+        exe = wl.build()
+        good = run_executable(exe, stdin=wl.good_input)
+        bad = run_executable(exe, stdin=wl.bad_input)
+        assert wl.grant_marker in good.stdout
+        assert b"FAIL" in bad.stdout
+
+    def test_rich_header_check(self):
+        wl = bootloader.workload(rich=True)
+        bogus = b"XX" + wl.good_input[2:]
+        result = run_executable(wl.build(), stdin=bogus)
+        assert b"bad image header" in result.stderr
+        assert b"FAIL" in result.stdout
+
+    def test_rich_digest_diagnostic(self):
+        wl = bootloader.workload(rich=True)
+        result = run_executable(wl.build(), stdin=wl.bad_input)
+        assert b"[diag] digest=" in result.stderr
+        # 16 hex chars + newline
+        hex_part = result.stderr.split(b"digest=")[1][:17]
+        assert len(hex_part) == 17
+        int(hex_part[:16], 16)  # parses as hex
+
+    def test_tamper_touches_two_bytes(self):
+        wl = bootloader.workload()
+        differences = sum(
+            1 for a, b in zip(wl.good_input, wl.bad_input) if a != b)
+        assert differences == 2
+
+    def test_fnv_reference_vectors(self):
+        # well-known FNV-1a/64 vectors
+        assert bootloader.fnv1a64(b"") == 0xCBF29CE484222325
+        assert bootloader.fnv1a64(b"a") == 0xAF63DC4C8601EC8C
+        assert bootloader.fnv1a64(b"foobar") == 0x85944171F73967E8
+
+
+class TestCorpus:
+    def test_all_programs_assemble_and_run(self):
+        for name in corpus.ALL:
+            exe = corpus.build(name)
+            result = run_executable(exe, stdin=b"abcd",
+                                    max_steps=5_000)
+            assert result.reason in ("exit", "max-steps"), name
