@@ -1,0 +1,124 @@
+"""Campaign-engine throughput: sequential vs checkpointed vs parallel.
+
+Seeds the perf trajectory for the faulter hot loop.  A sampled
+campaign over a long bootloader trace (>= 1k instructions) runs on
+three engine backends:
+
+* ``prefix-reexec``   — checkpoint_interval=inf: one step-0 checkpoint,
+  i.e. every faulted run re-executes the whole prefix (the pre-engine
+  statistical-FI behaviour),
+* ``checkpointed``    — checkpoint_interval=64: faulted runs resume
+  from the nearest trace checkpoint,
+* ``multiprocess``    — the checkpointed strategy inside a process
+  pool.
+
+The checkpointed backend must *strictly* reduce the total number of
+emulated steps vs prefix re-execution; faults/second and step counts
+are recorded in ``BENCH_campaign.json`` at the repo root.
+"""
+
+import json
+import pathlib
+import time
+
+from conftest import once
+
+from repro.faulter import (
+    Faulter, MultiprocessBackend, SampledSpace, SequentialBackend)
+from repro.workloads import bootloader
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_campaign.json"
+
+TRACE_SIZE = 200     # bootloader payload -> trace >= 1k instructions
+SAMPLES = 96
+SEED = 2024
+CHECKPOINT_INTERVAL = 64
+
+
+def _measure(faulter, backend):
+    space = SampledSpace(samples=SAMPLES, seed=SEED)
+    start = time.perf_counter()
+    report = faulter.engine().run("skip", space, backend=backend)
+    elapsed = time.perf_counter() - start
+    return report, elapsed
+
+
+def test_engine_throughput(benchmark, record):
+    wl = bootloader.workload(size=TRACE_SIZE)
+    faulter = Faulter(wl.build(), wl.good_input, wl.bad_input,
+                      wl.grant_marker, name=wl.name)
+    trace_length = len(faulter.trace())
+    assert trace_length >= 1000, (
+        f"need a >=1k-instruction trace, got {trace_length}")
+
+    backends = {
+        "prefix-reexec": SequentialBackend(
+            checkpoint_interval=float("inf")),
+        "checkpointed": SequentialBackend(
+            checkpoint_interval=CHECKPOINT_INTERVAL),
+        "multiprocess": MultiprocessBackend(
+            workers=4, checkpoint_interval=CHECKPOINT_INTERVAL),
+    }
+
+    results = {}
+    reports = {}
+    for name, backend in backends.items():
+        if name == "checkpointed":
+            # the headline number goes through pytest-benchmark
+            report, elapsed = once(
+                benchmark, lambda: _measure(faulter, backend))
+        else:
+            report, elapsed = _measure(faulter, backend)
+        reports[name] = report
+        results[name] = {
+            "wall_seconds": round(elapsed, 4),
+            "faults": report.total_faults,
+            "faults_per_second": round(
+                report.total_faults / elapsed, 2) if elapsed else None,
+            "emulated_steps": report.meta["emulated_steps"],
+            "checkpoint_interval": report.meta["checkpoint_interval"],
+        }
+
+    # all backends classify the sampled space identically
+    assert reports["checkpointed"] == reports["prefix-reexec"]
+    assert reports["multiprocess"] == reports["prefix-reexec"]
+
+    # the acceptance property: checkpoint replay strictly reduces the
+    # emulated work vs whole-prefix re-execution
+    saved = (results["prefix-reexec"]["emulated_steps"]
+             - results["checkpointed"]["emulated_steps"])
+    assert saved > 0, results
+
+    payload = {
+        "benchmark": "engine-throughput",
+        "workload": wl.name,
+        "trace_length": trace_length,
+        "model": "skip",
+        "samples": SAMPLES,
+        "seed": SEED,
+        "backends": results,
+        "checkpoint_steps_saved": saved,
+        "checkpoint_step_reduction_percent": round(
+            100.0 * saved / results["prefix-reexec"]["emulated_steps"],
+            2),
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        "ENGINE THROUGHPUT: sampled skip campaign "
+        f"({wl.name}, trace={trace_length}, n={SAMPLES})",
+        "",
+        f"  {'backend':<16}{'faults/s':>12}{'emulated steps':>18}",
+    ]
+    for name, row in results.items():
+        lines.append(f"  {name:<16}{row['faults_per_second']:>12}"
+                     f"{row['emulated_steps']:>18}")
+    lines += [
+        "",
+        f"  checkpoint replay saves {saved} emulated steps "
+        f"({payload['checkpoint_step_reduction_percent']}%) vs "
+        "prefix re-execution",
+        f"  [written to {BENCH_PATH.name}]",
+    ]
+    record("BENCH_campaign", "\n".join(lines))

@@ -20,6 +20,7 @@ from repro.binfmt.image import Executable
 from repro.binfmt.reader import read_elf
 from repro.binfmt.writer import write_elf
 from repro.faulter.campaign import Faulter
+from repro.faulter.engine import resolve_backend
 from repro.faulter.report import CampaignReport
 from repro.hybrid.pipeline import HybridResult, hybrid_harden
 from repro.patcher.loop import FaulterPatcherLoop, HardenResult
@@ -38,12 +39,37 @@ def find_vulnerabilities(image: Union[Executable, bytes],
                          bad_input: bytes,
                          grant_marker: bytes,
                          models: Sequence[str] = ("skip", "bitflip"),
-                         name: str = "target"
-                         ) -> dict[str, CampaignReport]:
-    """Run fault campaigns against a binary (the faulter alone)."""
+                         name: str = "target",
+                         backend: Union[str, object, None] = None,
+                         checkpoint_interval: Union[int, float,
+                                                    None] = None,
+                         workers: Union[int, None] = None,
+                         k_faults: int = 1,
+                         samples: int = 200,
+                         seed: int = 0) -> dict[str, CampaignReport]:
+    """Run fault campaigns against a binary (the faulter alone).
+
+    Engine knobs: ``backend`` picks the execution backend
+    (``"sequential"``/``"multiprocess"`` or an
+    :class:`~repro.faulter.engine.ExecutionBackend` instance),
+    ``checkpoint_interval`` enables trace-checkpoint replay,
+    ``workers`` sizes the multiprocess pool, and ``k_faults`` > 1
+    switches to the sampled multi-fault campaign (``samples`` runs
+    drawn with ``seed``).
+    """
     faulter = Faulter(_as_executable(image), good_input, bad_input,
                       grant_marker, name=name)
-    return faulter.run_all(models)
+    resolved = resolve_backend(backend, workers=workers,
+                               checkpoint_interval=checkpoint_interval)
+    if k_faults > 1:
+        reports = {}
+        for model in models:
+            report = faulter.run_k_fault_campaign(
+                model, k=k_faults, samples=samples, seed=seed,
+                backend=resolved)
+            reports[report.model] = report
+        return reports
+    return faulter.run_all(models, backend=resolved)
 
 
 def harden_binary(image: Union[Executable, bytes],

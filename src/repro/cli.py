@@ -3,6 +3,8 @@
 Subcommands::
 
     r2r fault  TARGET.elf --good HEX --bad HEX --marker TEXT [--model M]
+               [--backend B] [--checkpoint-interval N] [--workers W]
+               [--k-faults K] [--samples S] [--seed SEED]
     r2r harden TARGET.elf -o OUT.elf --approach {faulter+patcher,hybrid}
     r2r demo   {pincheck,bootloader} --approach ...
     r2r run    TARGET.elf [--stdin HEX]
@@ -36,10 +38,19 @@ def _load(path: str):
 
 
 def _cmd_fault(args) -> int:
-    reports = find_vulnerabilities(
-        _load(args.target), _decode_input(args.good),
-        _decode_input(args.bad), args.marker.encode(),
-        models=args.model, name=args.target)
+    try:
+        reports = find_vulnerabilities(
+            _load(args.target), _decode_input(args.good),
+            _decode_input(args.bad), args.marker.encode(),
+            models=args.model, name=args.target,
+            backend=args.backend,
+            checkpoint_interval=args.checkpoint_interval,
+            workers=args.workers, k_faults=args.k_faults,
+            samples=args.samples, seed=args.seed)
+    except ValueError as exc:
+        # conflicting engine knobs (exit 2: distinct from "vulnerable")
+        print(f"r2r fault: error: {exc}", file=sys.stderr)
+        return 2
     for report in reports.values():
         print(report.summary())
     return 0 if not any(r.vulnerable for r in reports.values()) else 1
@@ -110,6 +121,24 @@ def build_parser() -> argparse.ArgumentParser:
     fault = sub.add_parser("fault", help="run fault campaigns")
     fault.add_argument("target")
     add_campaign_args(fault)
+    fault.add_argument("--backend", default=None,
+                       choices=["sequential", "multiprocess"],
+                       help="campaign execution backend "
+                            "(default: sequential)")
+    fault.add_argument("--checkpoint-interval", type=int, default=None,
+                       help="snapshot the master trace every N steps "
+                            "and replay faults from the nearest "
+                            "checkpoint (<= 0: single step-0 "
+                            "checkpoint)")
+    fault.add_argument("--workers", type=int, default=None,
+                       help="process count for --backend multiprocess")
+    fault.add_argument("--k-faults", type=int, default=1,
+                       help="faults injected per run (k > 1 samples "
+                            "k-tuples along the trace)")
+    fault.add_argument("--samples", type=int, default=200,
+                       help="sampled runs for --k-faults > 1")
+    fault.add_argument("--seed", type=int, default=0,
+                       help="sampling seed for --k-faults > 1")
     fault.set_defaults(func=_cmd_fault)
 
     harden = sub.add_parser("harden", help="harden a binary")

@@ -8,10 +8,17 @@ This is the faulter's execution vehicle.  ``Machine.run`` supports:
   model may replace the fetched instruction (bit flip in the encoding)
   or skip it entirely,
 * CPU/IO snapshotting which, combined with the memory write journal,
-  substitutes for the paper's per-fault ``fork()``.
+  substitutes for the paper's per-fault ``fork()``,
+* trace checkpointing: periodic whole-state snapshots (CPU + I/O +
+  memory pages) every ``checkpoint_interval`` steps, so a campaign can
+  resume a faulted run from the nearest checkpoint instead of
+  re-executing the whole prefix.
 """
 
 from __future__ import annotations
+
+import bisect
+import math
 
 from dataclasses import dataclass, field
 from typing import Callable, Optional
@@ -67,6 +74,53 @@ class RunResult:
 FaultIntercept = Callable[[Instruction, CPU], Optional[Instruction]]
 
 
+@dataclass
+class Checkpoint:
+    """Whole machine state *about to execute* dynamic step ``step``.
+
+    Unlike :meth:`Machine.snapshot` (CPU/IO only, paired with the
+    memory journal for immediate rollback), a checkpoint owns a full
+    copy of the address space and of the I/O buffers, so it can be
+    restored at any later time and in any order.
+    """
+
+    step: int
+    regs: list[int]
+    rip: int
+    flags: object
+    stdin_pos: int
+    stdout: bytes
+    stderr: bytes
+    pages: dict[int, bytes]
+    perms: dict[int, str]
+
+
+class CheckpointStore:
+    """Checkpoints along one master trace, queried by dynamic step."""
+
+    def __init__(self, checkpoints: list[Checkpoint]):
+        self.checkpoints = sorted(checkpoints, key=lambda c: c.step)
+        self._steps = [c.step for c in self.checkpoints]
+
+    def __len__(self) -> int:
+        return len(self.checkpoints)
+
+    @property
+    def steps(self) -> list[int]:
+        return list(self._steps)
+
+    def nearest(self, step: int) -> Checkpoint:
+        """Latest checkpoint at or before dynamic step ``step``."""
+        if not self.checkpoints:
+            raise ValueError("empty checkpoint store")
+        index = bisect.bisect_right(self._steps, step) - 1
+        if index < 0:
+            raise ValueError(
+                f"no checkpoint at or before step {step} "
+                f"(earliest: {self._steps[0]})")
+        return self.checkpoints[index]
+
+
 class Machine:
     """A loaded guest program ready to run."""
 
@@ -108,6 +162,34 @@ class Machine:
         self.cpu.flags = flags.copy()
         self.io.restore(io_state)
 
+    # -- checkpointing (arbitrary-order restore) -------------------------
+
+    def checkpoint(self, step: int = 0) -> Checkpoint:
+        """Full-state checkpoint (CPU + I/O + memory pages)."""
+        pages, perms = self.memory.pages_snapshot()
+        return Checkpoint(
+            step=step,
+            regs=list(self.cpu.regs),
+            rip=self.cpu.rip,
+            flags=self.cpu.flags.copy(),
+            stdin_pos=self.io.stdin_pos,
+            stdout=bytes(self.io.stdout),
+            stderr=bytes(self.io.stderr),
+            pages=pages,
+            perms=perms,
+        )
+
+    def restore_checkpoint(self, cp: Checkpoint) -> int:
+        """Rewind (or fast-forward) to ``cp``; returns its step."""
+        self.cpu.regs = list(cp.regs)
+        self.cpu.rip = cp.rip
+        self.cpu.flags = cp.flags.copy()
+        self.io.stdin_pos = cp.stdin_pos
+        self.io.stdout = bytearray(cp.stdout)
+        self.io.stderr = bytearray(cp.stderr)
+        self.memory.pages_restore(cp.pages, cp.perms)
+        return cp.step
+
     # -- execution ---------------------------------------------------------
 
     def fetch_decode(self, address: int) -> Instruction:
@@ -124,7 +206,9 @@ class Machine:
             record_trace: bool = False,
             fault_step: int = -1,
             fault_intercept: Optional[FaultIntercept] = None,
-            fault_plan: Optional[dict] = None) -> RunResult:
+            fault_plan: Optional[dict] = None,
+            checkpoint_interval: int | float = 0,
+            checkpoint_sink: Optional[list] = None) -> RunResult:
         """Run until exit/halt/crash or ``max_steps``.
 
         When ``fault_intercept`` is given it is consulted exactly once,
@@ -132,6 +216,11 @@ class Machine:
         ``fault_plan`` generalizes this to multiple faults per run:
         a ``{step: intercept}`` mapping (the paper notes the faulter is
         parametric in "the number of faults injected per run").
+
+        When ``checkpoint_sink`` is a list and ``checkpoint_interval``
+        is positive, a :class:`Checkpoint` is appended before executing
+        step 0 and every ``checkpoint_interval`` steps thereafter
+        (``math.inf`` keeps only the step-0 checkpoint).
         """
         cpu = self.cpu
         trace: list[int] = []
@@ -140,11 +229,19 @@ class Machine:
         plan = dict(fault_plan) if fault_plan else {}
         if fault_intercept is not None and fault_step >= 0:
             plan[fault_step] = fault_intercept
+        checkpointing = (checkpoint_sink is not None
+                         and checkpoint_interval
+                         and checkpoint_interval > 0)
         try:
             while steps < max_steps:
                 rip = cpu.rip
                 if record_trace:
                     trace.append(rip)
+                if checkpointing and (
+                        steps == 0
+                        or (not math.isinf(checkpoint_interval)
+                            and steps % checkpoint_interval == 0)):
+                    checkpoint_sink.append(self.checkpoint(steps))
                 try:
                     instruction = self.fetch_decode(rip)
                     intercept = plan.get(steps) if plan else None

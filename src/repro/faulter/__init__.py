@@ -7,6 +7,10 @@ instruction, flip one encoding bit, ...) and observe whether the binary
 now exhibits the behaviour reserved for the "good" input — a
 *successful fault*.  Crashes and still-incorrect runs are ignored,
 exactly as the paper prescribes.
+
+Campaign flavors are compositions over the unified engine: a
+:class:`~repro.faulter.space.FaultSpace` enumerator executed on an
+:class:`~repro.faulter.engine.ExecutionBackend`.
 """
 
 from repro.faulter.models import (
@@ -18,8 +22,25 @@ from repro.faulter.models import (
     MODELS,
 )
 from repro.faulter.campaign import Fault, FaultOutcome, Faulter
+from repro.faulter.engine import (
+    BACKENDS,
+    CampaignEngine,
+    ExecutionBackend,
+    MultiprocessBackend,
+    SequentialBackend,
+    backend_by_name,
+)
 from repro.faulter.parallel import run_parallel_campaign
 from repro.faulter.report import CampaignReport, VulnerablePoint
+from repro.faulter.space import (
+    ExhaustiveSpace,
+    ExplicitSpace,
+    FaultPoint,
+    FaultSpace,
+    KFaultProductSpace,
+    SampledSpace,
+    WindowedSpace,
+)
 
 __all__ = [
     "FaultModel",
@@ -31,7 +52,20 @@ __all__ = [
     "Fault",
     "FaultOutcome",
     "Faulter",
+    "BACKENDS",
+    "CampaignEngine",
+    "ExecutionBackend",
+    "MultiprocessBackend",
+    "SequentialBackend",
+    "backend_by_name",
     "run_parallel_campaign",
     "CampaignReport",
     "VulnerablePoint",
+    "ExhaustiveSpace",
+    "ExplicitSpace",
+    "FaultPoint",
+    "FaultSpace",
+    "KFaultProductSpace",
+    "SampledSpace",
+    "WindowedSpace",
 ]

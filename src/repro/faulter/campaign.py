@@ -17,46 +17,33 @@ Protocol, following Section IV-B.1:
 The paper forks each fault simulation; we snapshot CPU/IO state and
 journal memory writes at the fault point instead, replaying only the
 suffix of the trace for each fault (see ``repro.emu.memory``).
+
+All campaign flavors route through the unified engine
+(:mod:`repro.faulter.engine`): a campaign is a
+:class:`~repro.faulter.space.FaultSpace` executed on an
+:class:`~repro.faulter.engine.ExecutionBackend`.  The methods below
+keep the historical signatures and produce bit-identical reports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.binfmt.image import Executable
-from repro.emu.machine import CRASH, EXIT, HALT, MAX_STEPS, Machine
-from repro.emu.cpu import ExitProgram, Halt
-from repro.errors import EmulationError, DecodingError, ReproError
-from repro.faulter.models import FaultModel, model_by_name
-from repro.faulter.report import CampaignReport
+from repro.emu.machine import Machine, RunResult
+from repro.errors import ReproError
+from repro.faulter.engine import CampaignEngine, resolve_backend
+from repro.faulter.models import FaultModel
+from repro.faulter.report import (
+    CRASHED, IGNORED, SUCCESS, CampaignReport, Fault, FaultOutcome,
+    classify_result)
+from repro.faulter.space import (
+    ExhaustiveSpace, KFaultProductSpace, WindowedSpace)
 
-SUCCESS = "success"
-CRASHED = "crash"
-IGNORED = "ignored"
-
-
-@dataclass(frozen=True)
-class Fault:
-    """One concrete injected fault."""
-
-    model: str
-    trace_index: int
-    address: int
-    mnemonic: str
-    detail: tuple = ()
-
-    def describe(self) -> str:
-        base = f"t={self.trace_index}"
-        if self.detail:
-            base += f" {self.detail}"
-        return f"{self.model}[{base}]"
-
-
-@dataclass(frozen=True)
-class FaultOutcome:
-    fault: Fault
-    outcome: str
+__all__ = [
+    "SUCCESS", "CRASHED", "IGNORED",
+    "Fault", "FaultOutcome", "Faulter",
+]
 
 
 class Faulter:
@@ -68,14 +55,21 @@ class Faulter:
                  bad_input: bytes,
                  grant_marker: bytes,
                  name: str = "target",
-                 max_steps: int = 100_000):
+                 max_steps: int = 100_000,
+                 baselines: Optional[tuple[RunResult, RunResult]] = None):
         self.image = image
         self.good_input = good_input
         self.bad_input = bad_input
         self.grant_marker = grant_marker
         self.name = name
         self.max_steps = max_steps
-        self._validate_baseline()
+        self._trace: Optional[list[int]] = None
+        self._engine: Optional[CampaignEngine] = None
+        if baselines is not None:
+            # an already-validated oracle (e.g. from a probe process)
+            self.good_baseline, self.bad_baseline = baselines
+        else:
+            self._validate_baseline()
 
     # -- baselines -----------------------------------------------------------
 
@@ -99,159 +93,90 @@ class Faulter:
 
     def classify(self, result) -> str:
         """Map a faulted run onto the paper's three outcome classes."""
-        if self.grant_marker in result.stdout:
-            return SUCCESS
-        if result.reason in (CRASH, MAX_STEPS):
-            return CRASHED
-        return IGNORED
+        return classify_result(result, self.grant_marker)
+
+    @property
+    def continuation_cap(self) -> int:
+        """Step budget for one faulted run (2x baseline + headroom)."""
+        return self.bad_baseline.steps * 2 + 256
 
     # -- campaign ------------------------------------------------------------
 
     def trace(self) -> list[int]:
-        """Instruction-address trace of the bad input."""
-        return self._run(self.bad_input, record_trace=True).trace
+        """Instruction-address trace of the bad input (computed once)."""
+        if self._trace is None:
+            self._trace = self._run(self.bad_input,
+                                    record_trace=True).trace
+        return self._trace
+
+    def engine(self) -> CampaignEngine:
+        """The campaign engine bound to this target (shared contexts)."""
+        if self._engine is None:
+            self._engine = CampaignEngine(self)
+        return self._engine
 
     def run_campaign(self,
                      model: FaultModel | str,
                      trace_window: Optional[Sequence[int]] = None,
-                     collect_outcomes: bool = False) -> CampaignReport:
+                     collect_outcomes: bool = False,
+                     backend=None,
+                     checkpoint_interval: int | float | None = None
+                     ) -> CampaignReport:
         """Inject every fault ``model`` expresses along the bad-input trace.
 
         ``trace_window`` optionally restricts the dynamic offsets
         attacked (an iterable of trace indices) — the statistical-FI
-        escape hatch for long traces.
+        escape hatch for long traces.  ``backend`` picks the execution
+        backend (name or instance; default sequential), and
+        ``checkpoint_interval`` switches the sequential backend from
+        master-walk suffix replay to checkpoint replay.
         """
-        if isinstance(model, str):
-            model = model_by_name(model)
-        trace = self.trace()
-        indices = list(trace_window) if trace_window is not None \
-            else list(range(len(trace)))
-        index_set = set(indices)
-
-        continuation_cap = self.bad_baseline.steps * 2 + 256
-        report = CampaignReport(
-            target=self.name, model=model.name,
-            trace_length=len(trace), total_faults=0)
-        outcomes_list: list[FaultOutcome] = []
-
-        # master machine walks the trace once; each fault replays only
-        # the suffix from the snapshot (fork substitute).
-        master = Machine(self.image, stdin=self.bad_input)
-        for step_index in range(len(trace)):
-            rip = master.cpu.rip
-            if step_index in index_set:
-                try:
-                    instruction = master.fetch_decode(rip)
-                except DecodingError:
-                    break
-                for detail in model.variants(instruction):
-                    fault = Fault(model.name, step_index, rip,
-                                  instruction.name, detail)
-                    outcome = self._inject(master, model, detail,
-                                           continuation_cap)
-                    report.total_faults += 1
-                    report.outcomes[outcome] += 1
-                    if outcome == SUCCESS:
-                        report.successes.append(fault)
-                    if collect_outcomes:
-                        outcomes_list.append(FaultOutcome(fault, outcome))
-            if not self._master_step(master):
-                break
-        if collect_outcomes:
-            report.all_outcomes = outcomes_list
-        return report
-
-    def _inject(self, master: Machine, model: FaultModel, detail: tuple,
-                cap: int) -> str:
-        state = master.snapshot()
-        master.memory.journal_begin()
-        try:
-            result = master.run(
-                max_steps=cap,
-                fault_step=0,
-                fault_intercept=lambda insn, cpu: model.apply(
-                    insn, cpu, detail),
-            )
-            outcome = self.classify(result)
-        finally:
-            master.memory.journal_rollback()
-            master.restore(state)
-        return outcome
-
-    def _master_step(self, master: Machine) -> bool:
-        """Advance the master machine one instruction; False when done."""
-        try:
-            instruction = master.fetch_decode(master.cpu.rip)
-            master.cpu.execute(instruction)
-        except (ExitProgram, Halt, EmulationError, DecodingError):
-            return False
-        return True
+        space = ExhaustiveSpace() if trace_window is None \
+            else WindowedSpace(indices=tuple(trace_window))
+        backend = resolve_backend(
+            backend, checkpoint_interval=checkpoint_interval)
+        return self.engine().run(model, space, backend=backend,
+                                 collect_outcomes=collect_outcomes)
 
     # -- multi-fault campaigns (extension) -------------------------------
+
+    def run_k_fault_campaign(self, model: FaultModel | str,
+                             k: int = 2,
+                             samples: int = 200,
+                             seed: int = 0,
+                             backend=None,
+                             checkpoint_interval: int | float | None = None
+                             ) -> CampaignReport:
+        """``k`` faults per run, sampled along the bad-input trace.
+
+        The paper notes the faulter is parametric in "the number of
+        faults injected per run"; exhaustive k-fault products are
+        O(population^k), so we sample deterministic random k-tuples.
+        A countermeasure that defeats all single faults may still fall
+        to a pair (e.g. skipping both duplicated compares).
+        """
+        space = KFaultProductSpace(k=k, samples=samples, seed=seed)
+        backend = resolve_backend(
+            backend, checkpoint_interval=checkpoint_interval)
+        suffix = "pairs" if k == 2 else f"{k}-faults"
+        return self.engine().run(model, space, backend=backend,
+                                 target=f"{self.name}({suffix})")
 
     def run_pair_campaign(self, model: FaultModel | str,
                           samples: int = 200,
                           seed: int = 0) -> CampaignReport:
-        """Double-fault campaign: two faults per run, sampled.
-
-        The paper notes the faulter is parametric in "the number of
-        faults injected per run"; exhaustive pairs are quadratic, so we
-        sample deterministic random pairs along the bad-input trace.
-        A countermeasure that defeats all single faults may still fall
-        to a pair (e.g. skipping both duplicated compares).
-        """
-        import random
-        if isinstance(model, str):
-            model = model_by_name(model)
-        trace = self.trace()
-        rng = random.Random(seed)
-        cap = self.bad_baseline.steps * 2 + 256
-        machine = Machine(self.image, stdin=self.bad_input)
-        report = CampaignReport(
-            target=f"{self.name}(pairs)", model=model.name,
-            trace_length=len(trace), total_faults=0)
-
-        variants_at: dict[int, list] = {}
-
-        def variants(index: int):
-            if index not in variants_at:
-                insn = machine.fetch_decode(trace[index])
-                variants_at[index] = list(model.variants(insn))
-            return variants_at[index]
-
-        for _ in range(samples):
-            first = rng.randrange(len(trace))
-            second = rng.randrange(len(trace))
-            if first == second:
-                continue
-            first, second = sorted((first, second))
-            first_detail = rng.choice(variants(first))
-            second_detail = rng.choice(variants(second))
-            runner = Machine(self.image, stdin=self.bad_input)
-            plan = {
-                first: (lambda insn, cpu, d=first_detail:
-                        model.apply(insn, cpu, d)),
-                second: (lambda insn, cpu, d=second_detail:
-                         model.apply(insn, cpu, d)),
-            }
-            result = runner.run(max_steps=cap, fault_plan=plan)
-            outcome = self.classify(result)
-            report.total_faults += 1
-            report.outcomes[outcome] += 1
-            if outcome == SUCCESS:
-                report.successes.append(Fault(
-                    model.name, first, trace[first],
-                    machine.fetch_decode(trace[first]).name,
-                    (first_detail, second, second_detail)))
-        return report
+        """Double-fault campaign: two faults per run, sampled."""
+        return self.run_k_fault_campaign(model, k=2, samples=samples,
+                                         seed=seed)
 
     # -- multi-model convenience ----------------------------------------------
 
     def run_all(self, models: Sequence[str | FaultModel] = ("skip",
-                                                            "bitflip")):
+                                                            "bitflip"),
+                **campaign_kwargs):
         """Run several campaigns; returns {model_name: report}."""
         reports = {}
         for model in models:
-            report = self.run_campaign(model)
+            report = self.run_campaign(model, **campaign_kwargs)
             reports[report.model] = report
         return reports

@@ -1,0 +1,428 @@
+"""The unified fault-campaign engine.
+
+Every campaign flavor — exhaustive, windowed, statistical, pair/k-fault,
+parallel — is the same computation: enumerate a :class:`FaultSpace`
+over the bad-input trace, execute each point on an
+:class:`ExecutionBackend`, and fold the per-point outcomes into one
+:class:`CampaignReport`.  ``CampaignEngine.run(model, space, backend)``
+is that computation; the legacy drivers in ``campaign.py``,
+``statistical.py`` and ``parallel.py`` are thin adapters over it.
+
+Backends execute points in trace-offset order (so machine state can be
+reused forward along the master trace) but every point carries its
+enumeration order, and the report is assembled in *that* order —
+reports are therefore bit-identical across backends, which the tests
+assert.
+
+Two execution strategies are provided:
+
+* **master-walk** (``SequentialBackend(checkpoint_interval=None)``) —
+  one machine walks the master trace; each fault snapshots CPU/IO,
+  journals memory, replays only the suffix and rolls back (the paper's
+  ``fork()`` substitute).
+* **checkpoint-replay** (``checkpoint_interval=N``) — whole-state
+  checkpoints are captured every N steps along the master trace; each
+  fault restores the nearest checkpoint at or before its offset and
+  replays from there, instead of re-executing the whole prefix.
+  ``math.inf`` degenerates to a single step-0 checkpoint, i.e. full
+  prefix re-execution — the pre-engine statistical behaviour.
+
+``MultiprocessBackend`` partitions the space and runs either strategy
+inside a process pool; workers reuse the probe's validated baseline
+(shipped as the continuation cap + grant marker) instead of
+re-validating the oracle per process.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from multiprocessing import get_context
+from typing import Optional, Sequence
+
+from repro.binfmt.image import Executable
+from repro.binfmt.reader import read_elf
+from repro.binfmt.writer import write_elf
+from repro.emu.cpu import ExitProgram, Halt
+from repro.emu.machine import CheckpointStore, Machine
+from repro.errors import DecodingError, EmulationError
+from repro.faulter.models import FaultModel, model_by_name
+from repro.faulter.report import (
+    SUCCESS, CampaignReport, Fault, FaultOutcome, classify_result)
+from repro.faulter.space import (
+    SUFFIX_CAP, FaultPoint, FaultSpace, SpaceContext)
+
+# An executed point: (point, outcome class).
+PointOutcome = tuple[FaultPoint, str]
+
+# Upper bound on retained whole-state checkpoints per campaign (each
+# one copies the full address space).
+MAX_CHECKPOINTS = 256
+
+
+def _normalize_interval(interval: int | float | None):
+    """``<= 0`` means "single step-0 checkpoint" (prefix re-execution)."""
+    if interval is not None and interval <= 0:
+        return math.inf
+    return interval
+
+
+def _intercept(model: FaultModel, detail: tuple):
+    return lambda insn, cpu: model.apply(insn, cpu, detail)
+
+
+def _fault_plan(model: FaultModel, point: FaultPoint,
+                base_step: int) -> dict:
+    """Plan keyed by steps relative to a resume point ``base_step``."""
+    return {step - base_step: _intercept(model, detail)
+            for step, detail in zip(point.steps, point.details)}
+
+
+def _master_step(machine: Machine) -> bool:
+    """Advance the master machine one instruction; False when done."""
+    try:
+        instruction = machine.fetch_decode(machine.cpu.rip)
+        machine.cpu.execute(instruction)
+    except (ExitProgram, Halt, EmulationError, DecodingError):
+        return False
+    return True
+
+
+def _execution_order(points: Sequence[FaultPoint]) -> list[FaultPoint]:
+    return sorted(points, key=lambda p: (p.first_step, p.order))
+
+
+def _run_master_walk(machine: Machine, classify, cap: int,
+                     model: FaultModel, points: Sequence[FaultPoint],
+                     cap_policy: str) -> tuple[list[PointOutcome], int]:
+    """Snapshot-replay every point while walking the trace once."""
+    ordered = _execution_order(points)
+    results: list[PointOutcome] = []
+    emulated = 0
+    index, step = 0, 0
+    while index < len(ordered):
+        while index < len(ordered) and ordered[index].first_step == step:
+            point = ordered[index]
+            index += 1
+            plan = _fault_plan(model, point, step)
+            budget = cap if cap_policy == SUFFIX_CAP \
+                else max(1, cap - step)
+            state = machine.snapshot()
+            machine.memory.journal_begin()
+            try:
+                result = machine.run(max_steps=budget, fault_plan=plan)
+            finally:
+                machine.memory.journal_rollback()
+                machine.restore(state)
+            emulated += result.steps
+            results.append((point, classify(result)))
+        if index >= len(ordered):
+            break
+        if not _master_step(machine):
+            break
+        emulated += 1
+        step += 1
+    return results, emulated
+
+
+def _run_checkpoint_replay(machine: Machine, classify, cap: int,
+                           model: FaultModel,
+                           points: Sequence[FaultPoint],
+                           cap_policy: str,
+                           checkpoint_interval: int | float,
+                           master_max_steps: int
+                           ) -> tuple[list[PointOutcome], int]:
+    """Build checkpoints once, then replay each point from the nearest.
+
+    Each checkpoint owns a full copy of the address space, so the
+    store is bounded: the interval is widened (never narrowed) to keep
+    at most ``MAX_CHECKPOINTS`` snapshots — a wider interval only
+    costs replay steps, never changes results.
+    """
+    sink: list = []
+    # no point checkpointing past the last fault offset — one step
+    # beyond it is enough to own the floor checkpoint for every point
+    last_offset = max(point.first_step for point in points)
+    span = min(master_max_steps, last_offset + 1)
+    if not math.isinf(checkpoint_interval):
+        checkpoint_interval = max(checkpoint_interval,
+                                  math.ceil(span / MAX_CHECKPOINTS))
+    build = machine.run(max_steps=span,
+                        checkpoint_interval=checkpoint_interval,
+                        checkpoint_sink=sink)
+    store = CheckpointStore(sink)
+    emulated = build.steps
+    results: list[PointOutcome] = []
+    for point in _execution_order(points):
+        base = machine.restore_checkpoint(store.nearest(point.first_step))
+        plan = _fault_plan(model, point, base)
+        if cap_policy == SUFFIX_CAP:
+            budget = (point.first_step - base) + cap
+        else:
+            budget = max(1, cap - base)
+        result = machine.run(max_steps=budget, fault_plan=plan)
+        emulated += result.steps
+        results.append((point, classify(result)))
+    return results, emulated
+
+
+class ExecutionBackend:
+    """Protocol: turn enumerated fault points into outcomes."""
+
+    name = "abstract"
+
+    def execute(self, faulter, model: FaultModel, space: FaultSpace,
+                ctx: SpaceContext) -> tuple[list[PointOutcome], int]:
+        """Returns (point outcomes in any order, emulated step count)."""
+        raise NotImplementedError
+
+
+class SequentialBackend(ExecutionBackend):
+    """In-process execution: master-walk or checkpoint-replay."""
+
+    name = "sequential"
+
+    def __init__(self, checkpoint_interval: int | float | None = None):
+        self.checkpoint_interval = _normalize_interval(
+            checkpoint_interval)
+
+    def execute(self, faulter, model, space, ctx):
+        points = list(space.enumerate(ctx))
+        if not points:
+            return [], 0
+        machine = Machine(faulter.image, stdin=faulter.bad_input)
+        classify = faulter.classify
+        cap = faulter.continuation_cap
+        if self.checkpoint_interval:
+            return _run_checkpoint_replay(
+                machine, classify, cap, model, points, space.cap_policy,
+                self.checkpoint_interval, faulter.max_steps)
+        return _run_master_walk(
+            machine, classify, cap, model, points, space.cap_policy)
+
+
+def _worker(job) -> tuple[list[PointOutcome], int]:
+    """Pool worker: execute one partition of the fault space.
+
+    Receives the probe's continuation cap and grant marker instead of
+    the good/bad inputs' oracle — no per-worker baseline re-validation.
+    """
+    (elf_bytes, bad_input, grant_marker, model_name, cap, points,
+     cap_policy, checkpoint_interval, master_max_steps) = job
+    machine = Machine(read_elf(elf_bytes), stdin=bad_input)
+    model = model_by_name(model_name)
+
+    def classify(result):
+        return classify_result(result, grant_marker)
+
+    if checkpoint_interval:
+        return _run_checkpoint_replay(
+            machine, classify, cap, model, points, cap_policy,
+            checkpoint_interval, master_max_steps)
+    return _run_master_walk(
+        machine, classify, cap, model, points, cap_policy)
+
+
+def default_workers() -> int:
+    """Pool size when the caller does not pick one: 2..8 by core count."""
+    return max(2, min(8, os.cpu_count() or 2))
+
+
+class MultiprocessBackend(ExecutionBackend):
+    """Partition the space across a process pool (the paper's fork)."""
+
+    name = "multiprocess"
+
+    def __init__(self, workers: Optional[int] = None,
+                 checkpoint_interval: int | float | None = None):
+        self.workers = workers
+        self.checkpoint_interval = _normalize_interval(
+            checkpoint_interval)
+
+    def execute(self, faulter, model, space, ctx):
+        workers = self.workers
+        if workers is None:
+            workers = default_workers()
+        partitions = space.partition(ctx, workers)
+        if len(partitions) <= 1:
+            fallback = SequentialBackend(self.checkpoint_interval)
+            return fallback.execute(faulter, model, space, ctx)
+        image = faulter.image
+        elf_bytes = bytes(image) if isinstance(image, (bytes, bytearray)) \
+            else write_elf(image)
+        jobs = [
+            (elf_bytes, faulter.bad_input, faulter.grant_marker,
+             model.name, faulter.continuation_cap, part.points,
+             part.cap_policy, self.checkpoint_interval,
+             faulter.max_steps)
+            for part in partitions
+        ]
+        context = get_context("fork") if hasattr(os, "fork") else \
+            get_context("spawn")
+        with context.Pool(processes=len(jobs)) as pool:
+            shards = pool.map(_worker, jobs)
+        results: list[PointOutcome] = []
+        emulated = 0
+        for shard_results, shard_steps in shards:
+            results.extend(shard_results)
+            emulated += shard_steps
+        return results, emulated
+
+
+BACKENDS = {
+    "sequential": SequentialBackend,
+    "multiprocess": MultiprocessBackend,
+    # common aliases
+    "parallel": MultiprocessBackend,
+}
+
+
+def backend_by_name(name: str, **kwargs) -> ExecutionBackend:
+    """Instantiate a backend by name (``sequential``/``multiprocess``)."""
+    try:
+        factory = BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; known: {sorted(BACKENDS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def resolve_backend(backend, *, workers: Optional[int] = None,
+                    checkpoint_interval: int | float | None = None
+                    ) -> ExecutionBackend:
+    """Coerce ``None``/name/instance into an ExecutionBackend.
+
+    Conflicting knobs are an error, not a silent drop: ``workers``
+    requires a multiprocess backend, and an already-constructed
+    backend instance owns its own configuration.
+    """
+    checkpoint_interval = _normalize_interval(checkpoint_interval)
+    if backend is None:
+        if workers is not None:
+            return MultiprocessBackend(
+                workers=workers, checkpoint_interval=checkpoint_interval)
+        return SequentialBackend(checkpoint_interval=checkpoint_interval)
+    if isinstance(backend, str):
+        factory = BACKENDS.get(backend)
+        if factory is None:
+            backend_by_name(backend)  # raises naming the known backends
+        kwargs: dict = {"checkpoint_interval": checkpoint_interval}
+        if factory is MultiprocessBackend:
+            kwargs["workers"] = workers
+        elif workers is not None:
+            raise ValueError(
+                f"workers= only applies to the multiprocess backend, "
+                f"not {backend!r}")
+        return factory(**kwargs)
+    if checkpoint_interval is not None and \
+            getattr(backend, "checkpoint_interval",
+                    None) != checkpoint_interval:
+        raise ValueError(
+            "pass checkpoint_interval= to the backend constructor, "
+            "not alongside a backend instance")
+    if workers is not None and \
+            getattr(backend, "workers", None) != workers:
+        raise ValueError(
+            "pass workers= to the backend constructor, not alongside "
+            "a backend instance")
+    return backend
+
+
+class CampaignEngine:
+    """Runs any fault space on any backend for one faulter target."""
+
+    def __init__(self, faulter):
+        self.faulter = faulter
+        self._contexts: dict[str, SpaceContext] = {}
+
+    def context(self, model: FaultModel | str) -> SpaceContext:
+        """Space context for ``model`` over the cached bad-input trace."""
+        if isinstance(model, str):
+            model = model_by_name(model)
+        cached = self._contexts.get(model.name)
+        if cached is not None:
+            return cached
+        trace = self.faulter.trace()
+        probe = Machine(self.faulter.image, stdin=self.faulter.bad_input)
+
+        def variants_at(step: int):
+            # A bad-input run that died on an invalid opcode records the
+            # failing address as its final trace entry; such a step has
+            # no injectable faults (the legacy driver stopped there).
+            try:
+                return model.variants(probe.fetch_decode(trace[step]))
+            except (DecodingError, EmulationError):
+                return ()
+
+        def mnemonic_at(step: int) -> str:
+            try:
+                return probe.fetch_decode(trace[step]).name
+            except (DecodingError, EmulationError):
+                return "?"
+
+        ctx = SpaceContext(model, trace, variants_at, mnemonic_at)
+        self._contexts[model.name] = ctx
+        return ctx
+
+    def run(self, model: FaultModel | str, space: FaultSpace,
+            backend: ExecutionBackend | str | None = None,
+            collect_outcomes: bool = False,
+            target: Optional[str] = None) -> CampaignReport:
+        """Execute ``space`` on ``backend``; fold into one report."""
+        if isinstance(model, str):
+            model = model_by_name(model)
+        ctx = self.context(model)
+        backend = resolve_backend(backend)
+        outcomes, emulated = backend.execute(
+            self.faulter, model, space, ctx)
+        return self._build_report(model, space, ctx, backend, outcomes,
+                                  emulated, collect_outcomes, target)
+
+    def _build_report(self, model, space, ctx, backend,
+                      outcomes: list[PointOutcome], emulated: int,
+                      collect_outcomes: bool,
+                      target: Optional[str]) -> CampaignReport:
+        report = CampaignReport(
+            target=target if target is not None else self.faulter.name,
+            model=model.name,
+            trace_length=len(ctx.trace),
+            total_faults=len(outcomes))
+        for point, outcome in sorted(outcomes,
+                                     key=lambda pair: pair[0].order):
+            report.outcomes[outcome] += 1
+            fault = None
+            if outcome == SUCCESS or collect_outcomes:
+                fault = self._fault_for(point, ctx, model)
+            if outcome == SUCCESS:
+                report.successes.append(fault)
+            if collect_outcomes:
+                report.all_outcomes.append(FaultOutcome(fault, outcome))
+        report.meta = {
+            "backend": backend.name,
+            "space": space.describe(),
+            "checkpoint_interval": _interval_meta(backend),
+            "emulated_steps": emulated,
+        }
+        return report
+
+    @staticmethod
+    def _fault_for(point: FaultPoint, ctx: SpaceContext,
+                   model: FaultModel) -> Fault:
+        first = point.first_step
+        detail = point.details[0]
+        if point.arity > 1:
+            # legacy multi-fault format: (d0, s1, d1, s2, d2, ...)
+            extra: list = []
+            for step, d in zip(point.steps[1:], point.details[1:]):
+                extra.extend((step, d))
+            detail = (detail, *extra)
+        return Fault(model.name, first, ctx.trace[first],
+                     ctx.mnemonic(first), detail)
+
+
+def _interval_meta(backend):
+    interval = getattr(backend, "checkpoint_interval", None)
+    if interval == float("inf"):
+        return "inf"  # keep report.to_dict() strictly JSON-safe
+    return interval

@@ -1,31 +1,24 @@
 """Multiprocess fault campaigns.
 
 "We fork each fault simulation to speed up the process" — the paper's
-faulter parallelizes across fault points.  This driver splits the
-bad-input trace into contiguous windows, runs one campaign per worker
-process, and merges the reports.  Results are bit-identical to the
-sequential campaign (asserted by the tests) because each fault
-simulation is independent.
+faulter parallelizes across fault points.  This driver is a thin
+adapter over the unified campaign engine's
+:class:`~repro.faulter.engine.MultiprocessBackend`: one sequential
+probe validates the oracle and records the trace, the fault space is
+partitioned across a process pool, and each worker reuses the probe's
+validated baseline (continuation cap + grant marker) instead of
+re-validating it.  Results are bit-identical to the sequential
+campaign (asserted by the tests) because each fault simulation is
+independent and reports are assembled in enumeration order.
 """
 
 from __future__ import annotations
 
-import os
-from multiprocessing import get_context
-
 from repro.binfmt.image import Executable
 from repro.binfmt.reader import read_elf
-from repro.binfmt.writer import write_elf
 from repro.faulter.campaign import Faulter
+from repro.faulter.engine import MultiprocessBackend, default_workers
 from repro.faulter.report import CampaignReport
-
-
-def _worker(args) -> CampaignReport:
-    (elf_bytes, good_input, bad_input, grant_marker, name, model,
-     window) = args
-    faulter = Faulter(read_elf(elf_bytes), good_input, bad_input,
-                      grant_marker, name=name)
-    return faulter.run_campaign(model, trace_window=window)
 
 
 def run_parallel_campaign(image: Executable | bytes,
@@ -34,44 +27,44 @@ def run_parallel_campaign(image: Executable | bytes,
                           grant_marker: bytes,
                           model: str = "skip",
                           name: str = "target",
-                          workers: int | None = None) -> CampaignReport:
-    """Run a campaign across a process pool; merge per-window reports."""
+                          workers: int | None = None,
+                          checkpoint_interval: int | float | None = None
+                          ) -> CampaignReport:
+    """Run a campaign across a process pool via the campaign engine."""
     if isinstance(image, (bytes, bytearray)):
-        elf_bytes = bytes(image)
-        exe = read_elf(elf_bytes)
+        exe = read_elf(bytes(image))
     else:
         exe = image
-        elf_bytes = write_elf(exe)
     if workers is None:
-        workers = max(2, min(8, os.cpu_count() or 2))
+        workers = default_workers()
 
-    # one sequential probe establishes the trace length (and validates
-    # the oracle before any process is spawned)
+    # one sequential probe validates the oracle and records the trace
+    # before any process is spawned; workers inherit its baseline
     probe = Faulter(exe, good_input, bad_input, grant_marker, name=name)
-    trace_length = len(probe.trace())
-    if trace_length == 0 or workers <= 1:
-        return probe.run_campaign(model)
-
-    windows = _split(trace_length, workers)
-    jobs = [(elf_bytes, good_input, bad_input, grant_marker, name,
-             model, window) for window in windows]
-    context = get_context("fork") if hasattr(os, "fork") else \
-        get_context("spawn")
-    with context.Pool(processes=len(jobs)) as pool:
-        partials = pool.map(_worker, jobs)
-    return merge_reports(partials, name=name, model=model,
-                         trace_length=trace_length)
+    if len(probe.trace()) == 0 or workers <= 1:
+        return probe.run_campaign(
+            model, checkpoint_interval=checkpoint_interval)
+    backend = MultiprocessBackend(
+        workers=workers, checkpoint_interval=checkpoint_interval)
+    return probe.run_campaign(model, backend=backend)
 
 
 def _split(total: int, parts: int) -> list[range]:
-    """Contiguous, non-overlapping windows covering ``range(total)``."""
-    size = (total + parts - 1) // parts
+    """Contiguous, non-overlapping windows covering ``range(total)``.
+
+    Degenerate inputs are handled: ``total == 0`` yields no windows,
+    and ``parts > total`` yields one single-element window per index.
+    """
+    if total <= 0 or parts <= 0:
+        return []
+    size = max(1, (total + parts - 1) // parts)
     return [range(start, min(start + size, total))
             for start in range(0, total, size)]
 
 
 def merge_reports(partials: list[CampaignReport], name: str,
                   model: str, trace_length: int) -> CampaignReport:
+    """Fold per-window partial reports into one (window-split legacy)."""
     merged = CampaignReport(target=name, model=model,
                             trace_length=trace_length, total_faults=0)
     for partial in partials:

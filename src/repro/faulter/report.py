@@ -1,13 +1,87 @@
-"""Vulnerability reports produced by fault campaigns."""
+"""Vulnerability reports produced by fault campaigns.
+
+This module also owns the campaign *vocabulary* — the three outcome
+classes of Section IV-B.1, the :class:`Fault` record, and the outcome
+classifier — so the campaign drivers, the engine, and worker processes
+can all share it without importing each other.
+"""
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
 
-if TYPE_CHECKING:
-    from repro.faulter.campaign import Fault
+SUCCESS = "success"
+CRASHED = "crash"
+IGNORED = "ignored"
+
+
+def classify_result(result, grant_marker: bytes) -> str:
+    """Map a faulted run onto the paper's three outcome classes.
+
+    ``result`` is a :class:`repro.emu.machine.RunResult` (duck-typed:
+    only ``stdout`` and ``crashed`` are consulted).
+    """
+    if grant_marker in result.stdout:
+        return SUCCESS
+    if result.crashed:
+        return CRASHED
+    return IGNORED
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One concrete injected fault."""
+
+    model: str
+    trace_index: int
+    address: int
+    mnemonic: str
+    detail: tuple = ()
+
+    def describe(self) -> str:
+        base = f"t={self.trace_index}"
+        if self.detail:
+            base += f" {self.detail}"
+        return f"{self.model}[{base}]"
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "trace_index": self.trace_index,
+            "address": self.address,
+            "mnemonic": self.mnemonic,
+            "detail": _detail_to_json(self.detail),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Fault":
+        return cls(
+            model=payload["model"],
+            trace_index=payload["trace_index"],
+            address=payload["address"],
+            mnemonic=payload["mnemonic"],
+            detail=_detail_from_json(payload.get("detail", [])),
+        )
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    fault: Fault
+    outcome: str
+
+
+def _detail_to_json(detail):
+    """Fault details are nested tuples of ints; JSON has only lists."""
+    if isinstance(detail, tuple):
+        return [_detail_to_json(item) for item in detail]
+    return detail
+
+
+def _detail_from_json(detail):
+    if isinstance(detail, list):
+        return tuple(_detail_from_json(item) for item in detail)
+    return detail
 
 
 @dataclass
@@ -34,6 +108,10 @@ class CampaignReport:
     outcomes: Counter = field(default_factory=Counter)
     successes: list["Fault"] = field(default_factory=list)
     all_outcomes: list = field(default_factory=list)
+    # Execution metadata (backend, checkpoint interval, emulated-step
+    # counts, ...).  Excluded from equality: the same campaign run on
+    # different backends must compare bit-identical.
+    meta: dict = field(default_factory=dict, compare=False)
 
     @property
     def vulnerable(self) -> bool:
@@ -72,12 +150,19 @@ class CampaignReport:
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
+        """Lossless, JSON-safe serialization (see :meth:`from_dict`)."""
         return {
             "target": self.target,
             "model": self.model,
             "trace_length": self.trace_length,
             "total_faults": self.total_faults,
             "outcomes": dict(self.outcomes),
+            "successes": [fault.to_dict() for fault in self.successes],
+            "all_outcomes": [
+                {"fault": o.fault.to_dict(), "outcome": o.outcome}
+                for o in self.all_outcomes
+            ],
+            "meta": dict(self.meta),
             "vulnerable_points": [
                 {
                     "address": point.address,
@@ -87,3 +172,26 @@ class CampaignReport:
                 for point in self.vulnerable_points()
             ],
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignReport":
+        """Rebuild a report serialized by :meth:`to_dict`.
+
+        Round-trips losslessly (``from_dict(r.to_dict()) == r``), which
+        is what lets reports cross process boundaries and land in
+        benchmark artifacts as plain JSON.
+        """
+        return cls(
+            target=payload["target"],
+            model=payload["model"],
+            trace_length=payload["trace_length"],
+            total_faults=payload["total_faults"],
+            outcomes=Counter(payload.get("outcomes", {})),
+            successes=[Fault.from_dict(f)
+                       for f in payload.get("successes", [])],
+            all_outcomes=[
+                FaultOutcome(Fault.from_dict(o["fault"]), o["outcome"])
+                for o in payload.get("all_outcomes", [])
+            ],
+            meta=dict(payload.get("meta", {})),
+        )

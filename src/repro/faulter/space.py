@@ -1,0 +1,264 @@
+"""Fault spaces: declarative enumerators over (trace offset x variant).
+
+A :class:`FaultSpace` is a pure-data *spec* of which fault points a
+campaign visits — it holds no machine state, so it pickles cleanly
+across process boundaries.  Binding a space to one concrete bad-input
+trace happens through a :class:`SpaceContext`, which lazily decodes
+instructions and memoizes the per-offset fault variants.
+
+Enumerators:
+
+* :class:`ExhaustiveSpace` — every variant at every trace offset (the
+  paper's default single-fault campaign),
+* :class:`WindowedSpace` — exhaustive over a subset of trace offsets
+  (the long-trace escape hatch),
+* :class:`SampledSpace` — uniform over the flat (offset x variant)
+  population, seeded (statistical FI, Leveugle et al.),
+* :class:`KFaultProductSpace` — sampled k-tuples of distinct offsets
+  per run (the multi-fault extension; k=2 is the pair campaign),
+* :class:`ExplicitSpace` — a literal point list (what a partition
+  ships to a worker process).
+
+Each point carries its enumeration ``order`` so a backend may execute
+points in whatever order is fastest (e.g. sorted by trace offset for
+checkpoint reuse) while the report is still assembled in enumeration
+order — making reports bit-identical across backends.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+# Cap policies: how a faulted run's step budget is accounted.
+#   SUFFIX_CAP — the continuation after the fault point gets the full
+#       cap (the exhaustive master-walk convention),
+#   TOTAL_CAP  — prefix steps count against the cap, as if the run had
+#       started from step 0 (the fresh-run convention of the
+#       statistical and multi-fault drivers).
+SUFFIX_CAP = "suffix"
+TOTAL_CAP = "total"
+
+
+@dataclass(frozen=True)
+class FaultPoint:
+    """One campaign run: ``k`` faults at dynamic trace offsets.
+
+    ``steps`` are strictly increasing dynamic instruction indices along
+    the bad-input trace; ``details[i]`` is the fault-model parameter
+    applied at ``steps[i]``.
+    """
+
+    order: int
+    steps: tuple[int, ...]
+    details: tuple[tuple, ...]
+
+    @property
+    def first_step(self) -> int:
+        return self.steps[0]
+
+    @property
+    def arity(self) -> int:
+        return len(self.steps)
+
+
+class SpaceContext:
+    """Binds fault-space specs to one concrete bad-input trace."""
+
+    def __init__(self, model, trace: Sequence[int],
+                 variants_at: Callable[[int], Sequence[tuple]],
+                 mnemonic_at: Callable[[int], str] | None = None):
+        self.model = model
+        self.trace = list(trace)
+        self._variants_at = variants_at
+        self._mnemonic_at = mnemonic_at
+        self._variant_cache: dict[int, list[tuple]] = {}
+        self._cumulative: list[int] | None = None
+
+    def variants(self, step: int) -> list[tuple]:
+        """Memoized fault variants injectable at trace offset ``step``."""
+        cached = self._variant_cache.get(step)
+        if cached is None:
+            cached = list(self._variants_at(step))
+            self._variant_cache[step] = cached
+        return cached
+
+    def mnemonic(self, step: int) -> str:
+        if self._mnemonic_at is None:
+            return "?"
+        return self._mnemonic_at(step)
+
+    def _cumulative_counts(self) -> list[int]:
+        if self._cumulative is None:
+            counts, total = [], 0
+            for step in range(len(self.trace)):
+                total += len(self.variants(step))
+                counts.append(total)
+            self._cumulative = counts
+        return self._cumulative
+
+    def population(self) -> int:
+        """Total number of single-fault points (offset x variant)."""
+        cumulative = self._cumulative_counts()
+        return cumulative[-1] if cumulative else 0
+
+    def locate(self, flat_index: int) -> tuple[int, int]:
+        """Map a flat population index to (trace offset, variant index)."""
+        cumulative = self._cumulative_counts()
+        step = bisect.bisect_right(cumulative, flat_index)
+        before = cumulative[step - 1] if step else 0
+        return step, flat_index - before
+
+
+class FaultSpace:
+    """Base class: a declarative, picklable fault-space spec."""
+
+    cap_policy = SUFFIX_CAP
+
+    def enumerate(self, ctx: SpaceContext) -> Iterator[FaultPoint]:
+        raise NotImplementedError
+
+    def partition(self, ctx: SpaceContext,
+                  parts: int) -> list["ExplicitSpace"]:
+        """Split into up to ``parts`` explicit sub-spaces.
+
+        Points are dealt to contiguous chunks of the enumeration order,
+        which both balances variant-heavy offsets across workers and
+        keeps each chunk's report fragment in enumeration order.
+        """
+        points = list(self.enumerate(ctx))
+        if not points:
+            return []
+        parts = max(1, min(parts, len(points)))
+        size = (len(points) + parts - 1) // parts
+        return [
+            ExplicitSpace(points=tuple(points[start:start + size]),
+                          cap_policy=self.cap_policy)
+            for start in range(0, len(points), size)
+        ]
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class ExhaustiveSpace(FaultSpace):
+    """Every fault variant at every trace offset."""
+
+    def enumerate(self, ctx: SpaceContext) -> Iterator[FaultPoint]:
+        order = 0
+        for step in range(len(ctx.trace)):
+            for detail in ctx.variants(step):
+                yield FaultPoint(order, (step,), (detail,))
+                order += 1
+
+    def describe(self) -> str:
+        return "exhaustive"
+
+
+@dataclass(frozen=True)
+class WindowedSpace(FaultSpace):
+    """Exhaustive over a subset of trace offsets (ascending)."""
+
+    indices: tuple[int, ...]
+
+    def enumerate(self, ctx: SpaceContext) -> Iterator[FaultPoint]:
+        order = 0
+        valid = sorted({i for i in self.indices
+                        if 0 <= i < len(ctx.trace)})
+        for step in valid:
+            for detail in ctx.variants(step):
+                yield FaultPoint(order, (step,), (detail,))
+                order += 1
+
+    def describe(self) -> str:
+        return f"windowed[{len(self.indices)}]"
+
+
+@dataclass(frozen=True)
+class SampledSpace(FaultSpace):
+    """Uniform sample (without replacement) of the flat population.
+
+    Reproduces the statistical-FI sampling discipline: a seeded
+    ``random.sample`` over ``range(population)``, each flat index
+    mapped back to its (offset, variant) pair.
+    """
+
+    samples: int
+    seed: int = 0
+    cap_policy = TOTAL_CAP
+
+    def enumerate(self, ctx: SpaceContext) -> Iterator[FaultPoint]:
+        population = ctx.population()
+        count = min(self.samples, population)
+        rng = random.Random(self.seed)
+        chosen = rng.sample(range(population), count) if count else []
+        for order, flat_index in enumerate(chosen):
+            step, variant_index = ctx.locate(flat_index)
+            detail = ctx.variants(step)[variant_index]
+            yield FaultPoint(order, (step,), (detail,))
+
+    def describe(self) -> str:
+        return f"sampled[n={self.samples}, seed={self.seed}]"
+
+
+@dataclass(frozen=True)
+class KFaultProductSpace(FaultSpace):
+    """Sampled k-tuples of faults at distinct trace offsets.
+
+    Exhaustive k-fault products are O(population^k); following the
+    multi-fault methodology we sample deterministic random tuples.
+    Draw k offsets (rejecting tuples with repeats), sort them, then
+    draw one variant per offset — for k=2 this is exactly the legacy
+    pair-campaign RNG sequence, so reports stay bit-identical.
+    """
+
+    k: int = 2
+    samples: int = 200
+    seed: int = 0
+    cap_policy = TOTAL_CAP
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError(f"k_faults must be >= 1, got {self.k}")
+
+    def enumerate(self, ctx: SpaceContext) -> Iterator[FaultPoint]:
+        trace_length = len(ctx.trace)
+        if trace_length < self.k:
+            return
+        rng = random.Random(self.seed)
+        order = 0
+        for _ in range(self.samples):
+            draws = [rng.randrange(trace_length) for _ in range(self.k)]
+            if len(set(draws)) < self.k:
+                continue
+            draws.sort()
+            if any(not ctx.variants(step) for step in draws):
+                # an offset with no injectable faults (e.g. the
+                # undecodable tail of a crashing bad-input run);
+                # reject before consuming any variant-choice RNG
+                continue
+            details = tuple(rng.choice(ctx.variants(step))
+                            for step in draws)
+            yield FaultPoint(order, tuple(draws), details)
+            order += 1
+
+    def describe(self) -> str:
+        return (f"k-fault[k={self.k}, n={self.samples}, "
+                f"seed={self.seed}]")
+
+
+@dataclass(frozen=True)
+class ExplicitSpace(FaultSpace):
+    """A literal list of fault points (a partition's worker share)."""
+
+    points: tuple[FaultPoint, ...]
+    cap_policy: str = SUFFIX_CAP
+
+    def enumerate(self, ctx: SpaceContext) -> Iterator[FaultPoint]:
+        yield from self.points
+
+    def describe(self) -> str:
+        return f"explicit[{len(self.points)}]"

@@ -11,12 +11,13 @@ error margin (with finite-population correction).
 from __future__ import annotations
 
 import math
-import random
 from dataclasses import dataclass
 
-from repro.emu.machine import Machine
-from repro.faulter.campaign import SUCCESS, Faulter
+from repro.faulter.campaign import Faulter
+from repro.faulter.engine import SequentialBackend, resolve_backend
 from repro.faulter.models import FaultModel, model_by_name
+from repro.faulter.report import CRASHED, SUCCESS
+from repro.faulter.space import SampledSpace
 
 _Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
 
@@ -91,58 +92,50 @@ class StatisticalEstimate:
                 f"[{100 * low:.3f}%, {100 * high:.3f}%]")
 
 
+DEFAULT_CHECKPOINT_INTERVAL = 64
+
+
 def estimate_vulnerability(faulter: Faulter,
                            model: FaultModel | str = "bitflip",
                            margin: float = 0.02,
                            confidence: float = 0.95,
                            samples: int | None = None,
-                           seed: int = 0) -> StatisticalEstimate:
+                           seed: int = 0,
+                           backend=None,
+                           checkpoint_interval: int | float | None = None
+                           ) -> StatisticalEstimate:
     """Sample the fault space of ``faulter``'s bad-input trace.
 
     ``samples`` overrides the Leveugle-sized default.  Sampling is
     uniform over the (trace offset x fault variant) population and
     deterministic for a given ``seed``.
+
+    Execution goes through the campaign engine: by default a
+    checkpointed sequential backend, which resumes each sampled run
+    from the nearest trace checkpoint instead of re-executing the
+    whole prefix.  The estimate is bit-identical for any backend or
+    checkpoint interval (the emulator is deterministic).
     """
     if isinstance(model, str):
         model = model_by_name(model)
-    trace = faulter.trace()
-    machine = Machine(faulter.image, stdin=faulter.bad_input)
-
-    variant_counts: list[int] = []
-    for address in trace:
-        insn = machine.fetch_decode(address)
-        variant_counts.append(len(model.variants(insn)))
-    cumulative: list[int] = []
-    total = 0
-    for count in variant_counts:
-        total += count
-        cumulative.append(total)
-    population = total
+    engine = faulter.engine()
+    population = engine.context(model).population()
     if samples is None:
         samples = required_samples(population, margin, confidence)
     samples = min(samples, population)
 
-    rng = random.Random(seed)
-    chosen = rng.sample(range(population), samples) if samples else []
-    cap = faulter.bad_baseline.steps * 2 + 256
-
-    successes = crashes = 0
-    import bisect
-    for flat_index in chosen:
-        step = bisect.bisect_right(cumulative, flat_index)
-        before = cumulative[step - 1] if step else 0
-        variant_index = flat_index - before
-        insn = machine.fetch_decode(trace[step])
-        detail = list(model.variants(insn))[variant_index]
-        runner = Machine(faulter.image, stdin=faulter.bad_input)
-        result = runner.run(
-            max_steps=cap, fault_step=step,
-            fault_intercept=lambda i, c, d=detail: model.apply(i, c, d))
-        outcome = faulter.classify(result)
-        if outcome == SUCCESS:
-            successes += 1
-        elif outcome == "crash":
-            crashes += 1
+    if backend is None:
+        interval = DEFAULT_CHECKPOINT_INTERVAL \
+            if checkpoint_interval is None else checkpoint_interval
+        backend = SequentialBackend(checkpoint_interval=interval)
+    else:
+        backend = resolve_backend(
+            backend, checkpoint_interval=checkpoint_interval)
+    space = SampledSpace(samples=samples, seed=seed)
+    report = engine.run(model, space, backend=backend,
+                        target=f"{faulter.name}(sampled)")
     return StatisticalEstimate(
         model=model.name, population=population, samples=samples,
-        successes=successes, crashes=crashes, confidence=confidence)
+        successes=report.outcomes.get(SUCCESS, 0),
+        crashes=report.outcomes.get(CRASHED, 0),
+        confidence=confidence)

@@ -1,0 +1,357 @@
+"""Unified campaign engine: spaces, backends, checkpoint replay.
+
+The load-bearing property asserted throughout: every backend and every
+checkpoint interval produces a report *bit-identical* to the
+master-walk sequential run (``CampaignReport.__eq__`` excludes only
+execution metadata).
+"""
+
+import math
+
+import pytest
+
+from repro.emu.machine import CheckpointStore, Machine
+from repro.faulter import (
+    CampaignReport, Faulter, KFaultProductSpace, MultiprocessBackend,
+    SampledSpace, SequentialBackend, WindowedSpace, backend_by_name)
+from repro.faulter.parallel import _split, merge_reports
+from repro.faulter.space import ExhaustiveSpace
+from repro.faulter.statistical import estimate_vulnerability
+from repro.workloads import bootloader, pincheck
+
+
+@pytest.fixture(scope="module")
+def wl():
+    return pincheck.workload()
+
+
+@pytest.fixture(scope="module")
+def faulter(wl):
+    return Faulter(wl.build(), wl.good_input, wl.bad_input,
+                   wl.grant_marker, name=wl.name)
+
+
+@pytest.fixture(scope="module")
+def boot_faulter():
+    wl = bootloader.workload(size=8)
+    return Faulter(wl.build(), wl.good_input, wl.bad_input,
+                   wl.grant_marker, name=wl.name)
+
+
+class TestSplitEdgeCases:
+    def test_parts_exceed_total(self):
+        windows = _split(3, 8)
+        assert [list(w) for w in windows] == [[0], [1], [2]]
+
+    def test_total_zero(self):
+        assert _split(0, 4) == []
+
+    def test_parts_zero(self):
+        assert _split(10, 0) == []
+
+    def test_coverage_preserved(self):
+        for total in (1, 7, 100, 101):
+            for parts in (1, 2, 3, 8, 200):
+                seen = [i for w in _split(total, parts) for i in w]
+                assert seen == list(range(total))
+
+
+class TestSpaces:
+    def test_exhaustive_covers_trace_times_variants(self, faulter):
+        ctx = faulter.engine().context("bitflip")
+        points = list(ExhaustiveSpace().enumerate(ctx))
+        assert len(points) == ctx.population()
+        assert [p.order for p in points] == list(range(len(points)))
+        assert all(p.arity == 1 for p in points)
+
+    def test_windowed_clips_and_sorts(self, faulter):
+        ctx = faulter.engine().context("skip")
+        space = WindowedSpace(indices=(5, 3, 3, 10**6))
+        steps = [p.first_step for p in space.enumerate(ctx)]
+        assert steps == [3, 5]
+
+    def test_sampled_is_within_population(self, faulter):
+        ctx = faulter.engine().context("bitflip")
+        space = SampledSpace(samples=40, seed=9)
+        points = list(space.enumerate(ctx))
+        assert len(points) == 40
+        for point in points:
+            step = point.first_step
+            assert 0 <= step < len(ctx.trace)
+            assert point.details[0] in ctx.variants(step)
+
+    def test_k_fault_steps_distinct_and_sorted(self, faulter):
+        ctx = faulter.engine().context("skip")
+        space = KFaultProductSpace(k=3, samples=50, seed=2)
+        for point in space.enumerate(ctx):
+            assert list(point.steps) == sorted(set(point.steps))
+            assert point.arity == 3
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            KFaultProductSpace(k=0, samples=10, seed=0)
+
+    def test_partition_preserves_points(self, faulter):
+        ctx = faulter.engine().context("bitflip")
+        space = ExhaustiveSpace()
+        whole = list(space.enumerate(ctx))
+        parts = space.partition(ctx, 4)
+        recombined = [p for part in parts for p in part.points]
+        assert recombined == whole
+        assert len(parts) == 4
+
+    def test_partition_empty_space(self, faulter):
+        ctx = faulter.engine().context("skip")
+        assert WindowedSpace(indices=()).partition(ctx, 4) == []
+
+
+class TestCheckpointMachinery:
+    def test_run_emits_periodic_checkpoints(self, wl):
+        machine = Machine(wl.build(), stdin=wl.bad_input)
+        sink = []
+        result = machine.run(checkpoint_interval=5,
+                             checkpoint_sink=sink)
+        store = CheckpointStore(sink)
+        assert store.steps[0] == 0
+        assert store.steps == list(range(0, result.steps, 5))
+
+    def test_infinite_interval_keeps_only_step_zero(self, wl):
+        machine = Machine(wl.build(), stdin=wl.bad_input)
+        sink = []
+        machine.run(checkpoint_interval=math.inf, checkpoint_sink=sink)
+        assert [cp.step for cp in sink] == [0]
+
+    def test_nearest_picks_floor_checkpoint(self, wl):
+        machine = Machine(wl.build(), stdin=wl.bad_input)
+        sink = []
+        machine.run(checkpoint_interval=4, checkpoint_sink=sink)
+        store = CheckpointStore(sink)
+        assert store.nearest(0).step == 0
+        assert store.nearest(7).step == 4
+        assert store.nearest(8).step == 8
+
+    def test_restore_replays_identically(self, wl):
+        """Resuming from a mid-trace checkpoint must finish with the
+        same observable behaviour as the uninterrupted run."""
+        machine = Machine(wl.build(), stdin=wl.bad_input)
+        sink = []
+        full = machine.run(checkpoint_interval=6, checkpoint_sink=sink)
+        cp = CheckpointStore(sink).nearest(full.steps // 2)
+        machine.restore_checkpoint(cp)
+        resumed = machine.run()
+        assert resumed.reason == full.reason
+        assert resumed.exit_code == full.exit_code
+        assert resumed.stdout == full.stdout
+        assert cp.step + resumed.steps == full.steps
+
+    def test_restore_order_is_arbitrary(self, wl):
+        """Checkpoints restore cleanly in any order (unlike the
+        journal, which only rolls back)."""
+        machine = Machine(wl.build(), stdin=wl.bad_input)
+        sink = []
+        full = machine.run(checkpoint_interval=4, checkpoint_sink=sink)
+        store = CheckpointStore(sink)
+        late = store.nearest(full.steps - 1)
+        early = store.nearest(4)
+        machine.restore_checkpoint(late)
+        machine.run()
+        machine.restore_checkpoint(early)
+        resumed = machine.run()
+        assert resumed.stdout == full.stdout
+
+
+class TestCheckpointReplayBitIdentity:
+    INTERVALS = (1, 64, math.inf)
+
+    @pytest.mark.parametrize("model", ["skip", "bitflip"])
+    def test_exhaustive_identical_across_intervals(self, faulter,
+                                                   model):
+        baseline = faulter.run_campaign(model)
+        for interval in self.INTERVALS:
+            replayed = faulter.run_campaign(
+                model, checkpoint_interval=interval)
+            assert replayed == baseline, f"interval={interval}"
+
+    def test_bootloader_identical_across_intervals(self, boot_faulter):
+        baseline = boot_faulter.run_campaign("skip")
+        for interval in self.INTERVALS:
+            assert boot_faulter.run_campaign(
+                "skip", checkpoint_interval=interval) == baseline
+
+    def test_statistical_identical_across_intervals(self, faulter):
+        estimates = [
+            estimate_vulnerability(faulter, "bitflip", samples=120,
+                                   seed=5,
+                                   checkpoint_interval=interval)
+            for interval in (None, *self.INTERVALS)
+        ]
+        first = estimates[0]
+        for estimate in estimates[1:]:
+            assert estimate == first
+
+    def test_pair_identical_across_intervals(self, faulter):
+        baseline = faulter.run_pair_campaign("skip", samples=80, seed=7)
+        for interval in self.INTERVALS:
+            replayed = faulter.run_k_fault_campaign(
+                "skip", k=2, samples=80, seed=7,
+                checkpoint_interval=interval)
+            assert replayed == baseline
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("model", ["skip", "bitflip"])
+    def test_multiprocess_equals_sequential(self, faulter, model):
+        sequential = faulter.run_campaign(model)
+        parallel = faulter.run_campaign(
+            model, backend=MultiprocessBackend(workers=3))
+        assert parallel == sequential
+
+    def test_multiprocess_checkpointed_equals_sequential(self, faulter):
+        sequential = faulter.run_campaign("skip")
+        parallel = faulter.run_campaign(
+            "skip", backend=MultiprocessBackend(workers=2,
+                                                checkpoint_interval=8))
+        assert parallel == sequential
+
+    def test_merge_of_partition_reports_equals_whole(self, faulter):
+        """Window-split partial reports still merge to the full one."""
+        full = faulter.run_campaign("skip")
+        trace_length = full.trace_length
+        windows = _split(trace_length, 3)
+        partials = [faulter.run_campaign("skip", trace_window=w)
+                    for w in windows]
+        merged = merge_reports(partials, name=faulter.name,
+                               model="skip", trace_length=trace_length)
+        assert merged == full
+
+    def test_backend_by_name(self):
+        assert isinstance(backend_by_name("sequential"),
+                          SequentialBackend)
+        assert isinstance(backend_by_name("multiprocess"),
+                          MultiprocessBackend)
+        with pytest.raises(KeyError):
+            backend_by_name("gpu")
+
+    def test_conflicting_knobs_rejected(self):
+        from repro.faulter.engine import resolve_backend
+        with pytest.raises(ValueError):
+            resolve_backend("sequential", workers=4)
+        with pytest.raises(ValueError):
+            resolve_backend(SequentialBackend(), checkpoint_interval=8)
+        with pytest.raises(ValueError):
+            resolve_backend(MultiprocessBackend(workers=2), workers=4)
+        # matching knobs on an instance are not a conflict
+        backend = SequentialBackend(checkpoint_interval=8)
+        assert resolve_backend(backend,
+                               checkpoint_interval=8) is backend
+
+    def test_meta_records_backend(self, faulter):
+        report = faulter.run_campaign("skip", checkpoint_interval=16)
+        assert report.meta["backend"] == "sequential"
+        assert report.meta["checkpoint_interval"] == 16
+        assert report.meta["emulated_steps"] > 0
+
+
+class TestKFaultCampaign:
+    def test_triple_fault_campaign_runs(self, faulter):
+        report = faulter.run_k_fault_campaign("skip", k=3, samples=60,
+                                              seed=4)
+        assert report.target.endswith("(3-faults)")
+        assert sum(report.outcomes.values()) == report.total_faults
+
+    def test_pair_detail_format_is_legacy(self, faulter):
+        """k=2 successes keep the (d0, s1, d1) detail layout."""
+        report = faulter.run_pair_campaign("skip", samples=400, seed=3)
+        for fault in report.successes:
+            assert len(fault.detail) == 3
+            first_detail, second_step, second_detail = fault.detail
+            assert isinstance(second_step, int)
+            assert fault.trace_index < second_step
+
+
+class TestReportRoundTrip:
+    def test_lossless_roundtrip(self, faulter):
+        import json
+        report = faulter.run_campaign("bitflip")
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert CampaignReport.from_dict(payload) == report
+
+    def test_roundtrip_with_all_outcomes(self, faulter):
+        report = faulter.run_campaign("skip", collect_outcomes=True)
+        rebuilt = CampaignReport.from_dict(report.to_dict())
+        assert rebuilt == report
+        assert rebuilt.all_outcomes == report.all_outcomes
+
+    def test_roundtrip_preserves_pair_details(self, faulter):
+        report = faulter.run_pair_campaign("skip", samples=400, seed=3)
+        rebuilt = CampaignReport.from_dict(report.to_dict())
+        assert rebuilt.successes == report.successes
+
+    def test_meta_survives_roundtrip(self, faulter):
+        report = faulter.run_campaign("skip", checkpoint_interval=4)
+        rebuilt = CampaignReport.from_dict(report.to_dict())
+        assert rebuilt.meta == report.meta
+
+
+class TestDegenerateTraces:
+    def test_undecodable_trace_tail_is_skipped(self, wl):
+        """A bad-input run that dies on an invalid opcode records the
+        failing address as its final trace entry; the campaign must
+        classify the decodable prefix instead of raising (the legacy
+        driver broke out of its loop at that step)."""
+        faulter = Faulter(wl.build(), wl.good_input, wl.bad_input,
+                          wl.grant_marker, name=wl.name)
+        clean = faulter.run_campaign("bitflip")
+        broken = Faulter(wl.build(), wl.good_input, wl.bad_input,
+                         wl.grant_marker, name=wl.name)
+        broken._trace = broken.trace() + [0xDEAD_BEEF]
+        report = broken.run_campaign("bitflip")
+        assert report.total_faults == clean.total_faults
+        assert report.outcomes == clean.outcomes
+        assert report.trace_length == clean.trace_length + 1
+
+    def test_k_fault_skips_offsets_without_variants(self, wl):
+        """Sampled k-tuples that land on a no-variant offset (the
+        undecodable tail) are rejected, not crashed on."""
+        broken = Faulter(wl.build(), wl.good_input, wl.bad_input,
+                         wl.grant_marker, name=wl.name)
+        broken._trace = broken.trace() + [0xDEAD_BEEF]
+        report = broken.run_k_fault_campaign("skip", k=2, samples=300,
+                                             seed=1)
+        assert sum(report.outcomes.values()) == report.total_faults
+        for fault in report.successes:
+            assert fault.trace_index < len(broken.trace()) - 1
+
+    def test_zero_interval_means_single_step0_checkpoint(self, faulter):
+        backend = SequentialBackend(checkpoint_interval=0)
+        assert backend.checkpoint_interval == math.inf
+        assert faulter.run_campaign("skip", checkpoint_interval=0) == \
+            faulter.run_campaign("skip")
+
+    def test_checkpoint_build_stops_at_last_fault_offset(self, faulter):
+        """Checkpointing a 5-step window must not emulate the whole
+        trace during the build run."""
+        windowed = faulter.run_campaign("skip", trace_window=range(5),
+                                        checkpoint_interval=1)
+        full = faulter.run_campaign("skip", checkpoint_interval=1)
+        assert windowed.meta["emulated_steps"] < \
+            full.meta["emulated_steps"]
+        assert windowed == faulter.run_campaign("skip",
+                                                trace_window=range(5))
+
+
+class TestTraceCaching:
+    def test_trace_computed_once(self, wl):
+        faulter = Faulter(wl.build(), wl.good_input, wl.bad_input,
+                          wl.grant_marker, name=wl.name)
+        first = faulter.trace()
+        assert faulter.trace() is first
+
+    def test_prevalidated_baselines_skip_oracle_runs(self, wl):
+        probe = Faulter(wl.build(), wl.good_input, wl.bad_input,
+                        wl.grant_marker, name=wl.name)
+        clone = Faulter(wl.build(), wl.good_input, wl.bad_input,
+                        wl.grant_marker, name=wl.name,
+                        baselines=(probe.good_baseline,
+                                   probe.bad_baseline))
+        assert clone.run_campaign("skip") == probe.run_campaign("skip")
