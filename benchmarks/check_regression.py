@@ -1,0 +1,104 @@
+"""Gate campaign-engine throughput against the committed baseline.
+
+CI's ``bench`` job runs ``benchmarks/test_engine_throughput.py`` (which
+rewrites ``BENCH_campaign.json``) and then::
+
+    python benchmarks/check_regression.py BASELINE.json FRESH.json
+
+The check fails (exit 1) when any backend's ``faults_per_second``
+drops more than ``--threshold`` (default 25%) below the committed
+baseline, or when any backend *emulates more steps* than the baseline
+— step counts are deterministic for a fixed workload and seed, so an
+increase is an algorithmic regression, not noise.  Fewer steps than
+the baseline is an improvement; the script reminds you to commit the
+regenerated JSON so the trajectory records it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> list[str]:
+    """Return a list of human-readable regression messages."""
+    failures = []
+    baseline_backends = baseline.get("backends", {})
+    fresh_backends = fresh.get("backends", {})
+    missing = set(baseline_backends) - set(fresh_backends)
+    if missing:
+        failures.append(
+            f"backends disappeared from the fresh run: {sorted(missing)}")
+    for name in sorted(set(baseline_backends) & set(fresh_backends)):
+        old, new = baseline_backends[name], fresh_backends[name]
+        old_fps, new_fps = old.get("faults_per_second"), \
+            new.get("faults_per_second")
+        if old_fps and new_fps is not None:
+            floor = old_fps * (1.0 - threshold)
+            if new_fps < floor:
+                failures.append(
+                    f"{name}: {new_fps:.2f} faults/s is "
+                    f"{100 * (1 - new_fps / old_fps):.1f}% below the "
+                    f"baseline {old_fps:.2f} "
+                    f"(threshold {100 * threshold:.0f}%)")
+        old_steps = old.get("emulated_steps")
+        new_steps = new.get("emulated_steps")
+        if old_steps is not None and new_steps is not None \
+                and new_steps > old_steps:
+            failures.append(
+                f"{name}: emulated steps grew {old_steps} -> "
+                f"{new_steps} (deterministic metric; this is an "
+                f"algorithmic regression)")
+    return failures
+
+
+def render(baseline: dict, fresh: dict) -> str:
+    lines = [f"{'backend':<16}{'faults/s':>22}{'emulated steps':>26}"]
+    fresh_backends = fresh.get("backends", {})
+    for name, old in baseline.get("backends", {}).items():
+        new = fresh_backends.get(name, {})
+        lines.append(
+            f"{name:<16}"
+            f"{old.get('faults_per_second')!s:>10} ->"
+            f"{new.get('faults_per_second')!s:>10}"
+            f"{old.get('emulated_steps')!s:>14} ->"
+            f"{new.get('emulated_steps')!s:>10}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_campaign.json")
+    parser.add_argument("fresh", help="freshly regenerated JSON")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="tolerated fractional faults/s drop "
+                             "(default: 0.25)")
+    args = parser.parse_args(argv)
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+    print(render(baseline, fresh))
+    failures = compare(baseline, fresh, args.threshold)
+    if failures:
+        print("\nBENCH REGRESSION:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    improved = [
+        name
+        for name, old in baseline.get("backends", {}).items()
+        if fresh.get("backends", {}).get(name, {}).get(
+            "emulated_steps", old.get("emulated_steps"))
+        < old.get("emulated_steps", 0)
+    ]
+    if improved:
+        print(f"\nemulated steps improved for {improved}; commit the "
+              f"regenerated BENCH_campaign.json to record it")
+    print("\nbench check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,12 +13,18 @@ three engine backends:
   pool.
 
 The checkpointed backend must *strictly* reduce the total number of
-emulated steps vs prefix re-execution; faults/second and step counts
-are recorded in ``BENCH_campaign.json`` at the repo root.
+emulated steps vs prefix re-execution; faults/second, step counts,
+peak RSS (``resource.getrusage``, so the streaming engine's memory
+trajectory is visible alongside throughput) and the engine's
+peak-resident-fault-points gauge are recorded in
+``BENCH_campaign.json`` at the repo root.  CI's ``bench`` job diffs a
+fresh run of this file against the committed JSON and fails on >25%
+throughput regression (``benchmarks/check_regression.py``).
 """
 
 import json
 import pathlib
+import resource
 import time
 
 from conftest import once
@@ -31,7 +37,10 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 BENCH_PATH = REPO_ROOT / "BENCH_campaign.json"
 
 TRACE_SIZE = 200     # bootloader payload -> trace >= 1k instructions
-SAMPLES = 96
+# enough samples that campaign compute dominates fixed costs (pool
+# spin-up, per-worker context derivation) — keeps the CI regression
+# gate's faults/s comparison out of the noise floor
+SAMPLES = 384
 SEED = 2024
 CHECKPOINT_INTERVAL = 64
 
@@ -78,6 +87,12 @@ def test_engine_throughput(benchmark, record):
                 report.total_faults / elapsed, 2) if elapsed else None,
             "emulated_steps": report.meta["emulated_steps"],
             "checkpoint_interval": report.meta["checkpoint_interval"],
+            "peak_resident_points": report.meta["peak_resident_points"],
+            # ru_maxrss is a process-lifetime high-water mark (KiB on
+            # Linux): monotone across backends, but its trajectory
+            # over PRs is what the perf history tracks
+            "peak_rss_kb": resource.getrusage(
+                resource.RUSAGE_SELF).ru_maxrss,
         }
 
     # all backends classify the sampled space identically
@@ -102,6 +117,8 @@ def test_engine_throughput(benchmark, record):
         "checkpoint_step_reduction_percent": round(
             100.0 * saved / results["prefix-reexec"]["emulated_steps"],
             2),
+        "peak_rss_kb": resource.getrusage(
+            resource.RUSAGE_SELF).ru_maxrss,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
 

@@ -46,7 +46,10 @@ def find_vulnerabilities(image: Union[Executable, bytes],
                          workers: Union[int, None] = None,
                          k_faults: int = 1,
                          samples: int = 200,
-                         seed: int = 0) -> dict[str, CampaignReport]:
+                         seed: int = 0,
+                         stream: Union[bool, None] = None,
+                         max_resident_points: Union[int, None] = None
+                         ) -> dict[str, CampaignReport]:
     """Run fault campaigns against a binary (the faulter alone).
 
     Engine knobs: ``backend`` picks the execution backend
@@ -55,12 +58,17 @@ def find_vulnerabilities(image: Union[Executable, bytes],
     ``checkpoint_interval`` enables trace-checkpoint replay,
     ``workers`` sizes the multiprocess pool, and ``k_faults`` > 1
     switches to the sampled multi-fault campaign (``samples`` runs
-    drawn with ``seed``).
+    drawn with ``seed``).  ``stream`` toggles bounded streaming
+    execution (default on) and ``max_resident_points`` sizes its
+    reorder window — the peak number of fault points resident at
+    once, regardless of the population size.
     """
     faulter = Faulter(_as_executable(image), good_input, bad_input,
                       grant_marker, name=name)
     resolved = resolve_backend(backend, workers=workers,
-                               checkpoint_interval=checkpoint_interval)
+                               checkpoint_interval=checkpoint_interval,
+                               stream=stream,
+                               max_resident_points=max_resident_points)
     if k_faults > 1:
         reports = {}
         for model in models:

@@ -5,6 +5,7 @@ Subcommands::
     r2r fault  TARGET.elf --good HEX --bad HEX --marker TEXT [--model M]
                [--backend B] [--checkpoint-interval N] [--workers W]
                [--k-faults K] [--samples S] [--seed SEED]
+               [--stream | --no-stream] [--max-resident-points N]
     r2r harden TARGET.elf -o OUT.elf --approach {faulter+patcher,hybrid}
     r2r demo   {pincheck,bootloader} --approach ...
     r2r run    TARGET.elf [--stdin HEX]
@@ -46,7 +47,9 @@ def _cmd_fault(args) -> int:
             backend=args.backend,
             checkpoint_interval=args.checkpoint_interval,
             workers=args.workers, k_faults=args.k_faults,
-            samples=args.samples, seed=args.seed)
+            samples=args.samples, seed=args.seed,
+            stream=args.stream,
+            max_resident_points=args.max_resident_points)
     except ValueError as exc:
         # conflicting engine knobs (exit 2: distinct from "vulnerable")
         print(f"r2r fault: error: {exc}", file=sys.stderr)
@@ -139,6 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sampled runs for --k-faults > 1")
     fault.add_argument("--seed", type=int, default=0,
                        help="sampling seed for --k-faults > 1")
+    fault.add_argument("--stream", default=None,
+                       action=argparse.BooleanOptionalAction,
+                       help="stream the fault space through a bounded "
+                            "reorder window instead of materializing "
+                            "it (default: on; --no-stream forces the "
+                            "materialized path)")
+    fault.add_argument("--max-resident-points", type=int, default=None,
+                       help="streaming reorder-window size: the peak "
+                            "number of fault points held in memory "
+                            "at once")
     fault.set_defaults(func=_cmd_fault)
 
     harden = sub.add_parser("harden", help="harden a binary")

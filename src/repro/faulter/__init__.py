@@ -24,14 +24,20 @@ from repro.faulter.models import (
 from repro.faulter.campaign import Fault, FaultOutcome, Faulter
 from repro.faulter.engine import (
     BACKENDS,
+    DEFAULT_MAX_RESIDENT,
     CampaignEngine,
     ExecutionBackend,
+    ExecutionStats,
     MultiprocessBackend,
     SequentialBackend,
     backend_by_name,
 )
 from repro.faulter.parallel import run_parallel_campaign
-from repro.faulter.report import CampaignReport, VulnerablePoint
+from repro.faulter.report import (
+    CampaignReport,
+    CampaignReportBuilder,
+    VulnerablePoint,
+)
 from repro.faulter.space import (
     ExhaustiveSpace,
     ExplicitSpace,
@@ -39,6 +45,7 @@ from repro.faulter.space import (
     FaultSpace,
     KFaultProductSpace,
     SampledSpace,
+    SpacePartition,
     WindowedSpace,
 )
 
@@ -53,13 +60,16 @@ __all__ = [
     "FaultOutcome",
     "Faulter",
     "BACKENDS",
+    "DEFAULT_MAX_RESIDENT",
     "CampaignEngine",
     "ExecutionBackend",
+    "ExecutionStats",
     "MultiprocessBackend",
     "SequentialBackend",
     "backend_by_name",
     "run_parallel_campaign",
     "CampaignReport",
+    "CampaignReportBuilder",
     "VulnerablePoint",
     "ExhaustiveSpace",
     "ExplicitSpace",
@@ -67,5 +77,6 @@ __all__ = [
     "FaultSpace",
     "KFaultProductSpace",
     "SampledSpace",
+    "SpacePartition",
     "WindowedSpace",
 ]

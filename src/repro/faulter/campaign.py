@@ -35,28 +35,43 @@ from repro.errors import ReproError
 from repro.faulter.engine import CampaignEngine, resolve_backend
 from repro.faulter.models import FaultModel
 from repro.faulter.report import (
-    CRASHED, IGNORED, SUCCESS, CampaignReport, Fault, FaultOutcome,
-    classify_result)
+    CRASHED,
+    IGNORED,
+    SUCCESS,
+    CampaignReport,
+    Fault,
+    FaultOutcome,
+    classify_result,
+)
 from repro.faulter.space import (
-    ExhaustiveSpace, KFaultProductSpace, WindowedSpace)
+    ExhaustiveSpace,
+    KFaultProductSpace,
+    WindowedSpace,
+)
 
 __all__ = [
-    "SUCCESS", "CRASHED", "IGNORED",
-    "Fault", "FaultOutcome", "Faulter",
+    "SUCCESS",
+    "CRASHED",
+    "IGNORED",
+    "Fault",
+    "FaultOutcome",
+    "Faulter",
 ]
 
 
 class Faulter:
     """Runs fault campaigns against one binary."""
 
-    def __init__(self,
-                 image: Executable | bytes,
-                 good_input: bytes,
-                 bad_input: bytes,
-                 grant_marker: bytes,
-                 name: str = "target",
-                 max_steps: int = 100_000,
-                 baselines: Optional[tuple[RunResult, RunResult]] = None):
+    def __init__(
+        self,
+        image: Executable | bytes,
+        good_input: bytes,
+        bad_input: bytes,
+        grant_marker: bytes,
+        name: str = "target",
+        max_steps: int = 100_000,
+        baselines: Optional[tuple[RunResult, RunResult]] = None,
+    ):
         self.image = image
         self.good_input = good_input
         self.bad_input = bad_input
@@ -71,11 +86,12 @@ class Faulter:
         else:
             self._validate_baseline()
 
-    # -- baselines -----------------------------------------------------------
+    # -- baselines --------------------------------------------------------
 
     def _run(self, stdin: bytes, **kwargs):
         return Machine(self.image, stdin=stdin).run(
-            max_steps=self.max_steps, **kwargs)
+            max_steps=self.max_steps, **kwargs
+        )
 
     def _validate_baseline(self):
         good = self._run(self.good_input)
@@ -83,11 +99,13 @@ class Faulter:
         if self.grant_marker not in good.stdout:
             raise ReproError(
                 f"{self.name}: good input does not produce the marker "
-                f"{self.grant_marker!r} (stdout={good.stdout!r})")
+                f"{self.grant_marker!r} (stdout={good.stdout!r})"
+            )
         if self.grant_marker in bad.stdout:
             raise ReproError(
                 f"{self.name}: bad input already produces the marker — "
-                f"nothing to protect")
+                "nothing to protect"
+            )
         self.good_baseline = good
         self.bad_baseline = bad
 
@@ -100,13 +118,12 @@ class Faulter:
         """Step budget for one faulted run (2x baseline + headroom)."""
         return self.bad_baseline.steps * 2 + 256
 
-    # -- campaign ------------------------------------------------------------
+    # -- campaign ---------------------------------------------------------
 
     def trace(self) -> list[int]:
         """Instruction-address trace of the bad input (computed once)."""
         if self._trace is None:
-            self._trace = self._run(self.bad_input,
-                                    record_trace=True).trace
+            self._trace = self._run(self.bad_input, record_trace=True).trace
         return self._trace
 
     def engine(self) -> CampaignEngine:
@@ -115,38 +132,58 @@ class Faulter:
             self._engine = CampaignEngine(self)
         return self._engine
 
-    def run_campaign(self,
-                     model: FaultModel | str,
-                     trace_window: Optional[Sequence[int]] = None,
-                     collect_outcomes: bool = False,
-                     backend=None,
-                     checkpoint_interval: int | float | None = None
-                     ) -> CampaignReport:
-        """Inject every fault ``model`` expresses along the bad-input trace.
+    def run_campaign(
+        self,
+        model: FaultModel | str,
+        trace_window: Optional[Sequence[int]] = None,
+        collect_outcomes: bool = False,
+        backend=None,
+        checkpoint_interval: int | float | None = None,
+        stream: bool | None = None,
+        max_resident_points: int | None = None,
+    ) -> CampaignReport:
+        """Inject every fault ``model`` expresses along the bad-input
+        trace.
 
         ``trace_window`` optionally restricts the dynamic offsets
         attacked (an iterable of trace indices) — the statistical-FI
         escape hatch for long traces.  ``backend`` picks the execution
-        backend (name or instance; default sequential), and
+        backend (name or instance; default sequential),
         ``checkpoint_interval`` switches the sequential backend from
-        master-walk suffix replay to checkpoint replay.
+        master-walk suffix replay to checkpoint replay, ``stream``
+        toggles bounded streaming execution (default on), and
+        ``max_resident_points`` sizes its reorder window.
         """
-        space = ExhaustiveSpace() if trace_window is None \
-            else WindowedSpace(indices=tuple(trace_window))
+        if trace_window is None:
+            space = ExhaustiveSpace()
+        else:
+            space = WindowedSpace(indices=tuple(trace_window))
         backend = resolve_backend(
-            backend, checkpoint_interval=checkpoint_interval)
-        return self.engine().run(model, space, backend=backend,
-                                 collect_outcomes=collect_outcomes)
+            backend,
+            checkpoint_interval=checkpoint_interval,
+            stream=stream,
+            max_resident_points=max_resident_points,
+        )
+        return self.engine().run(
+            model,
+            space,
+            backend=backend,
+            collect_outcomes=collect_outcomes,
+        )
 
-    # -- multi-fault campaigns (extension) -------------------------------
+    # -- multi-fault campaigns (extension) --------------------------------
 
-    def run_k_fault_campaign(self, model: FaultModel | str,
-                             k: int = 2,
-                             samples: int = 200,
-                             seed: int = 0,
-                             backend=None,
-                             checkpoint_interval: int | float | None = None
-                             ) -> CampaignReport:
+    def run_k_fault_campaign(
+        self,
+        model: FaultModel | str,
+        k: int = 2,
+        samples: int = 200,
+        seed: int = 0,
+        backend=None,
+        checkpoint_interval: int | float | None = None,
+        stream: bool | None = None,
+        max_resident_points: int | None = None,
+    ) -> CampaignReport:
         """``k`` faults per run, sampled along the bad-input trace.
 
         The paper notes the faulter is parametric in "the number of
@@ -157,23 +194,37 @@ class Faulter:
         """
         space = KFaultProductSpace(k=k, samples=samples, seed=seed)
         backend = resolve_backend(
-            backend, checkpoint_interval=checkpoint_interval)
+            backend,
+            checkpoint_interval=checkpoint_interval,
+            stream=stream,
+            max_resident_points=max_resident_points,
+        )
         suffix = "pairs" if k == 2 else f"{k}-faults"
-        return self.engine().run(model, space, backend=backend,
-                                 target=f"{self.name}({suffix})")
+        return self.engine().run(
+            model,
+            space,
+            backend=backend,
+            target=f"{self.name}({suffix})",
+        )
 
-    def run_pair_campaign(self, model: FaultModel | str,
-                          samples: int = 200,
-                          seed: int = 0) -> CampaignReport:
+    def run_pair_campaign(
+        self,
+        model: FaultModel | str,
+        samples: int = 200,
+        seed: int = 0,
+    ) -> CampaignReport:
         """Double-fault campaign: two faults per run, sampled."""
-        return self.run_k_fault_campaign(model, k=2, samples=samples,
-                                         seed=seed)
+        return self.run_k_fault_campaign(
+            model, k=2, samples=samples, seed=seed
+        )
 
-    # -- multi-model convenience ----------------------------------------------
+    # -- multi-model convenience ------------------------------------------
 
-    def run_all(self, models: Sequence[str | FaultModel] = ("skip",
-                                                            "bitflip"),
-                **campaign_kwargs):
+    def run_all(
+        self,
+        models: Sequence[str | FaultModel] = ("skip", "bitflip"),
+        **campaign_kwargs,
+    ):
         """Run several campaigns; returns {model_name: report}."""
         reports = {}
         for model in models:

@@ -8,49 +8,66 @@ over the bad-input trace, execute each point on an
 is that computation; the legacy drivers in ``campaign.py``,
 ``statistical.py`` and ``parallel.py`` are thin adapters over it.
 
-Backends execute points in trace-offset order (so machine state can be
-reused forward along the master trace) but every point carries its
-enumeration order, and the report is assembled in *that* order —
-reports are therefore bit-identical across backends, which the tests
-assert.
+Execution is *streaming* end-to-end: spaces enumerate lazily, backends
+pull points through a bounded reorder window (``max_resident_points``)
+— executing each window in trace-offset order for machine-state reuse,
+then emitting its outcomes back in enumeration order — and the engine
+folds the ordered outcome stream into the report incrementally.  Peak
+resident fault points are therefore bounded by the window size rather
+than the population, and reports stay bit-identical to the fully
+materialized path (``stream=False``), which the tests assert.
 
 Two execution strategies are provided:
 
 * **master-walk** (``SequentialBackend(checkpoint_interval=None)``) —
   one machine walks the master trace; each fault snapshots CPU/IO,
   journals memory, replays only the suffix and rolls back (the paper's
-  ``fork()`` substitute).
+  ``fork()`` substitute).  The walk persists across windows for
+  offset-monotone spaces; a window behind the walk restarts it.
 * **checkpoint-replay** (``checkpoint_interval=N``) — whole-state
-  checkpoints are captured every N steps along the master trace; each
-  fault restores the nearest checkpoint at or before its offset and
-  replays from there, instead of re-executing the whole prefix.
-  ``math.inf`` degenerates to a single step-0 checkpoint, i.e. full
-  prefix re-execution — the pre-engine statistical behaviour.
+  checkpoints are captured every N steps along the master trace,
+  extended lazily as far as the windows seen so far need; each fault
+  restores the nearest checkpoint at or before its offset and replays
+  from there, instead of re-executing the whole prefix.  ``math.inf``
+  degenerates to a single step-0 checkpoint, i.e. full prefix
+  re-execution — the pre-engine statistical behaviour.
 
-``MultiprocessBackend`` partitions the space and runs either strategy
-inside a process pool; workers reuse the probe's validated baseline
-(shipped as the continuation cap + grant marker) instead of
-re-validating the oracle per process.
+``MultiprocessBackend`` partitions the space declaratively and runs
+either strategy inside a process pool; each worker receives a
+:class:`~repro.faulter.space.SpacePartition` — the base space spec
+plus an enumeration-order window, O(1) bytes per worker instead of
+O(points) — re-derives the trace and context locally, and streams its
+own share.  Workers reuse the probe's validated baseline (shipped as
+the continuation cap + grant marker) instead of re-validating the
+oracle per process.
 """
 
 from __future__ import annotations
 
 import math
 import os
+from dataclasses import dataclass
 from multiprocessing import get_context
-from typing import Optional, Sequence
+from typing import Iterator, Optional, Sequence
 
-from repro.binfmt.image import Executable
 from repro.binfmt.reader import read_elf
 from repro.binfmt.writer import write_elf
 from repro.emu.cpu import ExitProgram, Halt
-from repro.emu.machine import CheckpointStore, Machine
+from repro.emu.machine import MAX_STEPS, CheckpointStore, Machine
 from repro.errors import DecodingError, EmulationError
 from repro.faulter.models import FaultModel, model_by_name
 from repro.faulter.report import (
-    SUCCESS, CampaignReport, Fault, FaultOutcome, classify_result)
+    CampaignReport,
+    CampaignReportBuilder,
+    Fault,
+    classify_result,
+)
 from repro.faulter.space import (
-    SUFFIX_CAP, FaultPoint, FaultSpace, SpaceContext)
+    SUFFIX_CAP,
+    FaultPoint,
+    FaultSpace,
+    SpaceContext,
+)
 
 # An executed point: (point, outcome class).
 PointOutcome = tuple[FaultPoint, str]
@@ -58,6 +75,22 @@ PointOutcome = tuple[FaultPoint, str]
 # Upper bound on retained whole-state checkpoints per campaign (each
 # one copies the full address space).
 MAX_CHECKPOINTS = 256
+
+# Default reorder-window size for streaming execution: the bound on
+# fault points resident at once (pending execution or reordering).
+DEFAULT_MAX_RESIDENT = 4096
+
+
+@dataclass
+class ExecutionStats:
+    """Counters a backend fills while streaming outcomes."""
+
+    emulated_steps: int = 0
+    peak_resident_points: int = 0
+
+    def observe_resident(self, count: int) -> None:
+        if count > self.peak_resident_points:
+            self.peak_resident_points = count
 
 
 def _normalize_interval(interval: int | float | None):
@@ -71,11 +104,14 @@ def _intercept(model: FaultModel, detail: tuple):
     return lambda insn, cpu: model.apply(insn, cpu, detail)
 
 
-def _fault_plan(model: FaultModel, point: FaultPoint,
-                base_step: int) -> dict:
+def _fault_plan(
+    model: FaultModel, point: FaultPoint, base_step: int
+) -> dict:
     """Plan keyed by steps relative to a resume point ``base_step``."""
-    return {step - base_step: _intercept(model, detail)
-            for step, detail in zip(point.steps, point.details)}
+    return {
+        step - base_step: _intercept(model, detail)
+        for step, detail in zip(point.steps, point.details)
+    }
 
 
 def _master_step(machine: Machine) -> bool:
@@ -92,78 +128,219 @@ def _execution_order(points: Sequence[FaultPoint]) -> list[FaultPoint]:
     return sorted(points, key=lambda p: (p.first_step, p.order))
 
 
-def _run_master_walk(machine: Machine, classify, cap: int,
-                     model: FaultModel, points: Sequence[FaultPoint],
-                     cap_policy: str) -> tuple[list[PointOutcome], int]:
-    """Snapshot-replay every point while walking the trace once."""
-    ordered = _execution_order(points)
-    results: list[PointOutcome] = []
-    emulated = 0
-    index, step = 0, 0
-    while index < len(ordered):
-        while index < len(ordered) and ordered[index].first_step == step:
-            point = ordered[index]
-            index += 1
-            plan = _fault_plan(model, point, step)
-            budget = cap if cap_policy == SUFFIX_CAP \
-                else max(1, cap - step)
-            state = machine.snapshot()
-            machine.memory.journal_begin()
-            try:
-                result = machine.run(max_steps=budget, fault_plan=plan)
-            finally:
-                machine.memory.journal_rollback()
-                machine.restore(state)
-            emulated += result.steps
-            results.append((point, classify(result)))
-        if index >= len(ordered):
-            break
-        if not _master_step(machine):
-            break
-        emulated += 1
-        step += 1
-    return results, emulated
+def build_space_context(
+    image, bad_input: bytes, model: FaultModel, trace: Sequence[int]
+) -> SpaceContext:
+    """Bind ``model`` to a recorded bad-input ``trace``.
 
-
-def _run_checkpoint_replay(machine: Machine, classify, cap: int,
-                           model: FaultModel,
-                           points: Sequence[FaultPoint],
-                           cap_policy: str,
-                           checkpoint_interval: int | float,
-                           master_max_steps: int
-                           ) -> tuple[list[PointOutcome], int]:
-    """Build checkpoints once, then replay each point from the nearest.
-
-    Each checkpoint owns a full copy of the address space, so the
-    store is bounded: the interval is widened (never narrowed) to keep
-    at most ``MAX_CHECKPOINTS`` snapshots — a wider interval only
-    costs replay steps, never changes results.
+    Shared by the engine (over the faulter's cached trace) and by pool
+    workers (over a locally re-derived trace), so both enumerate the
+    exact same fault points.
     """
-    sink: list = []
-    # no point checkpointing past the last fault offset — one step
-    # beyond it is enough to own the floor checkpoint for every point
-    last_offset = max(point.first_step for point in points)
-    span = min(master_max_steps, last_offset + 1)
-    if not math.isinf(checkpoint_interval):
-        checkpoint_interval = max(checkpoint_interval,
-                                  math.ceil(span / MAX_CHECKPOINTS))
-    build = machine.run(max_steps=span,
-                        checkpoint_interval=checkpoint_interval,
-                        checkpoint_sink=sink)
-    store = CheckpointStore(sink)
-    emulated = build.steps
-    results: list[PointOutcome] = []
-    for point in _execution_order(points):
-        base = machine.restore_checkpoint(store.nearest(point.first_step))
-        plan = _fault_plan(model, point, base)
-        if cap_policy == SUFFIX_CAP:
-            budget = (point.first_step - base) + cap
+    probe = Machine(image, stdin=bad_input)
+
+    def variants_at(step: int):
+        # A bad-input run that died on an invalid opcode records the
+        # failing address as its final trace entry; such a step has
+        # no injectable faults (the legacy driver stopped there).
+        try:
+            return model.variants(probe.fetch_decode(trace[step]))
+        except (DecodingError, EmulationError):
+            return ()
+
+    def mnemonic_at(step: int) -> str:
+        try:
+            return probe.fetch_decode(trace[step]).name
+        except (DecodingError, EmulationError):
+            return "?"
+
+    return SpaceContext(model, trace, variants_at, mnemonic_at)
+
+
+class _MasterWalkExecutor:
+    """Snapshot-replay faults while walking the master trace forward.
+
+    State (one machine plus its dynamic step) persists across windows:
+    offset-monotone spaces keep walking forward; a window whose first
+    offset lies behind the walk restarts it from step 0 (the emulator
+    is deterministic, so results are unaffected).
+    """
+
+    def __init__(self, faulter, model: FaultModel, cap_policy: str):
+        self._faulter = faulter
+        self._model = model
+        self._cap_policy = cap_policy
+        self._machine: Optional[Machine] = None
+        self._step = 0
+        self._done = False
+
+    def _reset(self) -> None:
+        self._machine = Machine(
+            self._faulter.image, stdin=self._faulter.bad_input
+        )
+        self._step = 0
+        self._done = False
+
+    def run_window(
+        self, points: Sequence[FaultPoint], stats: ExecutionStats
+    ) -> list[PointOutcome]:
+        ordered = _execution_order(points)
+        if self._machine is None or ordered[0].first_step < self._step:
+            self._reset()
+        machine = self._machine
+        classify = self._faulter.classify
+        cap = self._faulter.continuation_cap
+        results: list[PointOutcome] = []
+        index = 0
+        while index < len(ordered):
+            while (
+                index < len(ordered)
+                and ordered[index].first_step == self._step
+            ):
+                point = ordered[index]
+                index += 1
+                plan = _fault_plan(self._model, point, self._step)
+                if self._cap_policy == SUFFIX_CAP:
+                    budget = cap
+                else:
+                    budget = max(1, cap - self._step)
+                state = machine.snapshot()
+                machine.memory.journal_begin()
+                try:
+                    result = machine.run(max_steps=budget, fault_plan=plan)
+                finally:
+                    machine.memory.journal_rollback()
+                    machine.restore(state)
+                stats.emulated_steps += result.steps
+                results.append((point, classify(result)))
+            if index >= len(ordered) or self._done:
+                break
+            if not _master_step(machine):
+                # the master run ended; points past it (none, for
+                # spaces enumerated from the recorded trace) drop
+                self._done = True
+                break
+            stats.emulated_steps += 1
+            self._step += 1
+        return results
+
+
+class _CheckpointReplayExecutor:
+    """Replay each fault from the nearest whole-state checkpoint.
+
+    Checkpoints are built lazily: the master walk is extended (from a
+    retained frontier checkpoint) only as far as the windows seen so
+    far require, so a campaign over a short prefix never emulates the
+    whole trace — and the checkpoint interval is widened from the span
+    *actually covered*, not the whole trace, so such a campaign also
+    keeps its fine-grained replay.  Each checkpoint owns a full copy
+    of the address space, so the store is bounded: each extension
+    segment emits at most ``MAX_CHECKPOINTS`` new snapshots, and the
+    store is thinned (every other checkpoint dropped, the emission
+    grid doubled) whenever it outgrows the cap — wider spacing only
+    costs replay steps, never results.
+    """
+
+    def __init__(
+        self,
+        faulter,
+        model: FaultModel,
+        cap_policy: str,
+        checkpoint_interval: int | float,
+        trace_length: int,
+    ):
+        self._faulter = faulter
+        self._model = model
+        self._cap_policy = cap_policy
+        self._max_span = min(faulter.max_steps, max(trace_length, 1))
+        self._interval = checkpoint_interval
+        self._machine = Machine(faulter.image, stdin=faulter.bad_input)
+        self._checkpoints: list = []
+        self._store: Optional[CheckpointStore] = None
+        self._covered = 0
+        self._frontier = None
+
+    def _emit_interval(self, span: int) -> int | float:
+        """Emission grid for a build out to ``span`` total steps."""
+        if math.isinf(self._interval):
+            return self._interval
+        return max(self._interval, math.ceil(span / MAX_CHECKPOINTS))
+
+    def _thin_store(self) -> None:
+        """Halve checkpoint density once the cap is exceeded.
+
+        Checkpoints are appended in ascending step order, so slicing
+        keeps step 0 and every other snapshot; doubling the base
+        interval coarsens future emission grids to match.
+        """
+        while len(self._checkpoints) > MAX_CHECKPOINTS:
+            self._checkpoints = self._checkpoints[::2]
+            if not math.isinf(self._interval):
+                self._interval *= 2
+
+    def _ensure_coverage(self, needed: int, stats: ExecutionStats) -> None:
+        """Extend the checkpointed prefix to ``needed`` master steps."""
+        needed = min(needed, self._max_span)
+        if self._store is not None and needed <= self._covered:
+            return
+        if self._covered == 0:
+            sink: list = []
+            result = self._machine.run(
+                max_steps=needed,
+                checkpoint_interval=self._emit_interval(needed),
+                checkpoint_sink=sink,
+            )
+            stats.emulated_steps += result.steps
+            self._checkpoints.extend(sink)
+        elif self._frontier is None:
+            return  # the master run already ended
         else:
-            budget = max(1, cap - base)
-        result = machine.run(max_steps=budget, fault_plan=plan)
-        emulated += result.steps
-        results.append((point, classify(result)))
-    return results, emulated
+            self._machine.restore_checkpoint(self._frontier)
+            sink = []
+            result = self._machine.run(
+                max_steps=needed - self._covered,
+                checkpoint_interval=self._emit_interval(needed),
+                checkpoint_sink=sink,
+            )
+            stats.emulated_steps += result.steps
+            for checkpoint in sink:
+                if checkpoint.step == 0:
+                    # duplicate of the frontier state; kept separately
+                    continue
+                checkpoint.step += self._covered
+                self._checkpoints.append(checkpoint)
+        if result.reason == MAX_STEPS and result.steps:
+            self._covered += result.steps
+            self._frontier = self._machine.checkpoint(self._covered)
+        else:
+            # exit/halt/crash: nothing exists beyond this prefix
+            self._covered = self._max_span
+            self._frontier = None
+        self._thin_store()
+        self._store = CheckpointStore(self._checkpoints)
+
+    def run_window(
+        self, points: Sequence[FaultPoint], stats: ExecutionStats
+    ) -> list[PointOutcome]:
+        ordered = _execution_order(points)
+        self._ensure_coverage(ordered[-1].first_step + 1, stats)
+        machine = self._machine
+        classify = self._faulter.classify
+        cap = self._faulter.continuation_cap
+        results: list[PointOutcome] = []
+        for point in ordered:
+            base = machine.restore_checkpoint(
+                self._store.nearest(point.first_step)
+            )
+            plan = _fault_plan(self._model, point, base)
+            if self._cap_policy == SUFFIX_CAP:
+                budget = (point.first_step - base) + cap
+            else:
+                budget = max(1, cap - base)
+            result = machine.run(max_steps=budget, fault_plan=plan)
+            stats.emulated_steps += result.steps
+            results.append((point, classify(result)))
+        return results
 
 
 class ExecutionBackend:
@@ -171,56 +348,212 @@ class ExecutionBackend:
 
     name = "abstract"
 
-    def execute(self, faulter, model: FaultModel, space: FaultSpace,
-                ctx: SpaceContext) -> tuple[list[PointOutcome], int]:
-        """Returns (point outcomes in any order, emulated step count)."""
+    def iter_outcomes(
+        self,
+        faulter,
+        model: FaultModel,
+        space: FaultSpace,
+        ctx: SpaceContext,
+        stats: ExecutionStats,
+    ) -> Iterator[PointOutcome]:
+        """Yield point outcomes in enumeration order, updating
+        ``stats``."""
         raise NotImplementedError
+
+    def execute(
+        self,
+        faulter,
+        model: FaultModel,
+        space: FaultSpace,
+        ctx: SpaceContext,
+    ) -> tuple[list[PointOutcome], int]:
+        """Materializing wrapper: (ordered outcomes, emulated steps)."""
+        stats = ExecutionStats()
+        outcomes = list(self.iter_outcomes(faulter, model, space, ctx, stats))
+        return outcomes, stats.emulated_steps
+
+
+def _validate_streaming_knobs(
+    stream: bool, max_resident_points: int | None
+) -> None:
+    if max_resident_points is not None:
+        if not stream:
+            raise ValueError(
+                "max_resident_points= requires streaming execution "
+                "(stream=True)"
+            )
+        if max_resident_points < 1:
+            raise ValueError(
+                f"max_resident_points must be >= 1, got {max_resident_points}"
+            )
 
 
 class SequentialBackend(ExecutionBackend):
-    """In-process execution: master-walk or checkpoint-replay."""
+    """In-process execution: master-walk or checkpoint-replay.
+
+    ``stream=True`` (the default) pulls points through a bounded
+    reorder window of ``max_resident_points`` (default
+    ``DEFAULT_MAX_RESIDENT``): each window executes offset-sorted,
+    then emits its outcomes back in enumeration order.  ``stream=
+    False`` materializes the whole space as one window — the legacy
+    O(population) path, kept as the differential-testing baseline.
+    """
 
     name = "sequential"
 
-    def __init__(self, checkpoint_interval: int | float | None = None):
-        self.checkpoint_interval = _normalize_interval(
-            checkpoint_interval)
+    def __init__(
+        self,
+        checkpoint_interval: int | float | None = None,
+        stream: bool = True,
+        max_resident_points: int | None = None,
+    ):
+        self.checkpoint_interval = _normalize_interval(checkpoint_interval)
+        _validate_streaming_knobs(stream, max_resident_points)
+        self.stream = stream
+        self.max_resident_points = max_resident_points
 
-    def execute(self, faulter, model, space, ctx):
-        points = list(space.enumerate(ctx))
-        if not points:
-            return [], 0
-        machine = Machine(faulter.image, stdin=faulter.bad_input)
-        classify = faulter.classify
-        cap = faulter.continuation_cap
+    def _window_size(self) -> int | None:
+        """Reorder-window bound; ``None`` materializes everything."""
+        if not self.stream:
+            return None
+        return self.max_resident_points or DEFAULT_MAX_RESIDENT
+
+    def _executor(self, faulter, space: FaultSpace, ctx: SpaceContext):
         if self.checkpoint_interval:
-            return _run_checkpoint_replay(
-                machine, classify, cap, model, points, space.cap_policy,
-                self.checkpoint_interval, faulter.max_steps)
-        return _run_master_walk(
-            machine, classify, cap, model, points, space.cap_policy)
+            return _CheckpointReplayExecutor(
+                faulter,
+                ctx.model,
+                space.cap_policy,
+                self.checkpoint_interval,
+                len(ctx.trace),
+            )
+        return _MasterWalkExecutor(faulter, ctx.model, space.cap_policy)
+
+    def iter_outcomes(self, faulter, model, space, ctx, stats):
+        window_size = self._window_size()
+        executor = None
+        window: list[FaultPoint] = []
+        for point in space.enumerate(ctx):
+            window.append(point)
+            if window_size is not None and len(window) >= window_size:
+                if executor is None:
+                    executor = self._executor(faulter, space, ctx)
+                yield from self._drain(executor, window, stats)
+                window = []
+        if window:
+            if executor is None:
+                executor = self._executor(faulter, space, ctx)
+            yield from self._drain(executor, window, stats)
+
+    @staticmethod
+    def _drain(
+        executor,
+        window: list[FaultPoint],
+        stats: ExecutionStats,
+    ) -> Iterator[PointOutcome]:
+        """Execute one window; reorder its rows back to enumeration
+        order."""
+        stats.observe_resident(len(window))
+        outcomes = executor.run_window(window, stats)
+        outcomes.sort(key=lambda pair: pair[0].order)
+        yield from outcomes
 
 
-def _worker(job) -> tuple[list[PointOutcome], int]:
-    """Pool worker: execute one partition of the fault space.
+class _WorkerTarget:
+    """Duck-typed stand-in for a Faulter inside a pool worker.
 
-    Receives the probe's continuation cap and grant marker instead of
-    the good/bad inputs' oracle — no per-worker baseline re-validation.
+    Carries only the probe's validated baseline — the continuation cap
+    and grant marker — so workers never re-run the oracle.
     """
-    (elf_bytes, bad_input, grant_marker, model_name, cap, points,
-     cap_policy, checkpoint_interval, master_max_steps) = job
-    machine = Machine(read_elf(elf_bytes), stdin=bad_input)
-    model = model_by_name(model_name)
 
-    def classify(result):
-        return classify_result(result, grant_marker)
+    def __init__(
+        self,
+        image,
+        bad_input: bytes,
+        grant_marker: bytes,
+        continuation_cap: int,
+        max_steps: int,
+    ):
+        self.image = image
+        self.bad_input = bad_input
+        self.grant_marker = grant_marker
+        self.continuation_cap = continuation_cap
+        self.max_steps = max_steps
 
-    if checkpoint_interval:
-        return _run_checkpoint_replay(
-            machine, classify, cap, model, points, cap_policy,
-            checkpoint_interval, master_max_steps)
-    return _run_master_walk(
-        machine, classify, cap, model, points, cap_policy)
+    def classify(self, result) -> str:
+        return classify_result(result, self.grant_marker)
+
+
+# Per-process memo for pool workers: re-deriving the trace and space
+# context is deterministic, so each worker process does it once per
+# (binary, input, model) and reuses it across its queue of partitions.
+_WORKER_CONTEXTS: dict = {}
+
+
+def _worker_context(
+    elf_bytes: bytes,
+    bad_input: bytes,
+    model_name: str,
+    master_max_steps: int,
+):
+    key = (elf_bytes, bad_input, model_name, master_max_steps)
+    cached = _WORKER_CONTEXTS.get(key)
+    if cached is None:
+        image = read_elf(elf_bytes)
+        model = model_by_name(model_name)
+        tracer = Machine(image, stdin=bad_input)
+        probe_run = tracer.run(
+            max_steps=master_max_steps, record_trace=True
+        )
+        ctx = build_space_context(
+            image, bad_input, model, probe_run.trace
+        )
+        cached = (image, model, ctx)
+        _WORKER_CONTEXTS.clear()  # one live target per worker process
+        _WORKER_CONTEXTS[key] = cached
+    return cached
+
+
+def _worker(job) -> tuple[list[PointOutcome], int, int]:
+    """Pool worker: stream one declarative partition of the space.
+
+    The job carries a :class:`~repro.faulter.space.SpacePartition`
+    spec, not a point list — the worker re-records the bad-input trace
+    (deterministic, so identical to the probe's) and re-enumerates its
+    own window locally.
+    """
+    (
+        elf_bytes,
+        bad_input,
+        grant_marker,
+        model_name,
+        continuation_cap,
+        partition,
+        checkpoint_interval,
+        master_max_steps,
+        stream,
+        max_resident_points,
+    ) = job
+    image, model, ctx = _worker_context(
+        elf_bytes, bad_input, model_name, master_max_steps
+    )
+    target = _WorkerTarget(
+        image,
+        bad_input,
+        grant_marker,
+        continuation_cap,
+        master_max_steps,
+    )
+    backend = SequentialBackend(
+        checkpoint_interval=checkpoint_interval,
+        stream=stream,
+        max_resident_points=max_resident_points,
+    )
+    stats = ExecutionStats()
+    outcomes = list(
+        backend.iter_outcomes(target, model, partition, ctx, stats)
+    )
+    return outcomes, stats.emulated_steps, stats.peak_resident_points
 
 
 def default_workers() -> int:
@@ -229,44 +562,96 @@ def default_workers() -> int:
 
 
 class MultiprocessBackend(ExecutionBackend):
-    """Partition the space across a process pool (the paper's fork)."""
+    """Partition the space across a process pool (the paper's fork).
+
+    Partitions are contiguous enumeration-order windows shipped as
+    declarative sub-specs (O(1) bytes per job).  When streaming, each
+    partition is additionally capped at ``max_resident_points``, and
+    partitions are dispatched in waves of ``workers`` jobs: every
+    process (and the returning shard) holds at most one reorder
+    window's worth of points, so aggregate residency is
+    O(workers x window) instead of O(population).  Each worker
+    process re-derives the trace/context once and reuses it across
+    its queue of partitions.
+    """
 
     name = "multiprocess"
 
-    def __init__(self, workers: Optional[int] = None,
-                 checkpoint_interval: int | float | None = None):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        checkpoint_interval: int | float | None = None,
+        stream: bool = True,
+        max_resident_points: int | None = None,
+    ):
         self.workers = workers
-        self.checkpoint_interval = _normalize_interval(
-            checkpoint_interval)
+        self.checkpoint_interval = _normalize_interval(checkpoint_interval)
+        _validate_streaming_knobs(stream, max_resident_points)
+        self.stream = stream
+        self.max_resident_points = max_resident_points
 
-    def execute(self, faulter, model, space, ctx):
+    def _partition_count(self, total: int, workers: int) -> int:
+        """Enough partitions for the pool, capped at the window size."""
+        parts = workers
+        if self.stream:
+            window = self.max_resident_points or DEFAULT_MAX_RESIDENT
+            parts = max(parts, math.ceil(total / window))
+        return parts
+
+    def iter_outcomes(self, faulter, model, space, ctx, stats):
         workers = self.workers
         if workers is None:
             workers = default_workers()
-        partitions = space.partition(ctx, workers)
+        total = space.count(ctx)
+        partitions = space.partition(
+            ctx, self._partition_count(total, workers)
+        )
         if len(partitions) <= 1:
-            fallback = SequentialBackend(self.checkpoint_interval)
-            return fallback.execute(faulter, model, space, ctx)
+            fallback = SequentialBackend(
+                checkpoint_interval=self.checkpoint_interval,
+                stream=self.stream,
+                max_resident_points=self.max_resident_points,
+            )
+            yield from fallback.iter_outcomes(
+                faulter, model, space, ctx, stats
+            )
+            return
         image = faulter.image
-        elf_bytes = bytes(image) if isinstance(image, (bytes, bytearray)) \
-            else write_elf(image)
+        if isinstance(image, (bytes, bytearray)):
+            elf_bytes = bytes(image)
+        else:
+            elf_bytes = write_elf(image)
         jobs = [
-            (elf_bytes, faulter.bad_input, faulter.grant_marker,
-             model.name, faulter.continuation_cap, part.points,
-             part.cap_policy, self.checkpoint_interval,
-             faulter.max_steps)
-            for part in partitions
+            (
+                elf_bytes,
+                faulter.bad_input,
+                faulter.grant_marker,
+                model.name,
+                faulter.continuation_cap,
+                partition,
+                self.checkpoint_interval,
+                faulter.max_steps,
+                self.stream,
+                self.max_resident_points,
+            )
+            for partition in partitions
         ]
-        context = get_context("fork") if hasattr(os, "fork") else \
-            get_context("spawn")
-        with context.Pool(processes=len(jobs)) as pool:
-            shards = pool.map(_worker, jobs)
-        results: list[PointOutcome] = []
-        emulated = 0
-        for shard_results, shard_steps in shards:
-            results.extend(shard_results)
-            emulated += shard_steps
-        return results, emulated
+        if hasattr(os, "fork"):
+            context = get_context("fork")
+        else:
+            context = get_context("spawn")
+        pool_size = min(workers, len(jobs))
+        with context.Pool(processes=pool_size) as pool:
+            # wave scheduling: map() one pool-sized batch at a time, so
+            # the parent never buffers more than `workers` shards (each
+            # at most one reorder window) while keeping partition order
+            for start in range(0, len(jobs), pool_size):
+                wave = jobs[start:start + pool_size]
+                for outcomes, steps, peak in pool.map(_worker, wave):
+                    stats.emulated_steps += steps
+                    stats.observe_resident(peak)
+                    stats.observe_resident(len(outcomes))
+                    yield from outcomes
 
 
 BACKENDS = {
@@ -288,9 +673,14 @@ def backend_by_name(name: str, **kwargs) -> ExecutionBackend:
     return factory(**kwargs)
 
 
-def resolve_backend(backend, *, workers: Optional[int] = None,
-                    checkpoint_interval: int | float | None = None
-                    ) -> ExecutionBackend:
+def resolve_backend(
+    backend,
+    *,
+    workers: Optional[int] = None,
+    checkpoint_interval: int | float | None = None,
+    stream: bool | None = None,
+    max_resident_points: int | None = None,
+) -> ExecutionBackend:
     """Coerce ``None``/name/instance into an ExecutionBackend.
 
     Conflicting knobs are an error, not a silent drop: ``workers``
@@ -298,34 +688,49 @@ def resolve_backend(backend, *, workers: Optional[int] = None,
     backend instance owns its own configuration.
     """
     checkpoint_interval = _normalize_interval(checkpoint_interval)
+    streaming_kwargs: dict = {}
+    if stream is not None:
+        streaming_kwargs["stream"] = stream
+    if max_resident_points is not None:
+        streaming_kwargs["max_resident_points"] = max_resident_points
     if backend is None:
         if workers is not None:
             return MultiprocessBackend(
-                workers=workers, checkpoint_interval=checkpoint_interval)
-        return SequentialBackend(checkpoint_interval=checkpoint_interval)
+                workers=workers,
+                checkpoint_interval=checkpoint_interval,
+                **streaming_kwargs,
+            )
+        return SequentialBackend(
+            checkpoint_interval=checkpoint_interval, **streaming_kwargs
+        )
     if isinstance(backend, str):
         factory = BACKENDS.get(backend)
         if factory is None:
             backend_by_name(backend)  # raises naming the known backends
         kwargs: dict = {"checkpoint_interval": checkpoint_interval}
+        kwargs.update(streaming_kwargs)
         if factory is MultiprocessBackend:
             kwargs["workers"] = workers
         elif workers is not None:
             raise ValueError(
-                f"workers= only applies to the multiprocess backend, "
-                f"not {backend!r}")
+                "workers= only applies to the multiprocess backend, "
+                f"not {backend!r}"
+            )
         return factory(**kwargs)
-    if checkpoint_interval is not None and \
-            getattr(backend, "checkpoint_interval",
-                    None) != checkpoint_interval:
-        raise ValueError(
-            "pass checkpoint_interval= to the backend constructor, "
-            "not alongside a backend instance")
-    if workers is not None and \
-            getattr(backend, "workers", None) != workers:
-        raise ValueError(
-            "pass workers= to the backend constructor, not alongside "
-            "a backend instance")
+    conflicts = (
+        ("checkpoint_interval", checkpoint_interval),
+        ("workers", workers),
+        ("stream", stream),
+        ("max_resident_points", max_resident_points),
+    )
+    for knob, value in conflicts:
+        if value is None:
+            continue
+        if getattr(backend, knob, None) != value:
+            raise ValueError(
+                f"pass {knob}= to the backend constructor, not "
+                "alongside a backend instance"
+            )
     return backend
 
 
@@ -343,72 +748,59 @@ class CampaignEngine:
         cached = self._contexts.get(model.name)
         if cached is not None:
             return cached
-        trace = self.faulter.trace()
-        probe = Machine(self.faulter.image, stdin=self.faulter.bad_input)
-
-        def variants_at(step: int):
-            # A bad-input run that died on an invalid opcode records the
-            # failing address as its final trace entry; such a step has
-            # no injectable faults (the legacy driver stopped there).
-            try:
-                return model.variants(probe.fetch_decode(trace[step]))
-            except (DecodingError, EmulationError):
-                return ()
-
-        def mnemonic_at(step: int) -> str:
-            try:
-                return probe.fetch_decode(trace[step]).name
-            except (DecodingError, EmulationError):
-                return "?"
-
-        ctx = SpaceContext(model, trace, variants_at, mnemonic_at)
+        ctx = build_space_context(
+            self.faulter.image,
+            self.faulter.bad_input,
+            model,
+            self.faulter.trace(),
+        )
         self._contexts[model.name] = ctx
         return ctx
 
-    def run(self, model: FaultModel | str, space: FaultSpace,
-            backend: ExecutionBackend | str | None = None,
-            collect_outcomes: bool = False,
-            target: Optional[str] = None) -> CampaignReport:
-        """Execute ``space`` on ``backend``; fold into one report."""
+    def run(
+        self,
+        model: FaultModel | str,
+        space: FaultSpace,
+        backend: ExecutionBackend | str | None = None,
+        collect_outcomes: bool = False,
+        target: Optional[str] = None,
+    ) -> CampaignReport:
+        """Execute ``space`` on ``backend``; fold the streamed
+        outcomes into one report incrementally."""
         if isinstance(model, str):
             model = model_by_name(model)
         ctx = self.context(model)
         backend = resolve_backend(backend)
-        outcomes, emulated = backend.execute(
-            self.faulter, model, space, ctx)
-        return self._build_report(model, space, ctx, backend, outcomes,
-                                  emulated, collect_outcomes, target)
-
-    def _build_report(self, model, space, ctx, backend,
-                      outcomes: list[PointOutcome], emulated: int,
-                      collect_outcomes: bool,
-                      target: Optional[str]) -> CampaignReport:
-        report = CampaignReport(
+        stats = ExecutionStats()
+        builder = CampaignReportBuilder(
             target=target if target is not None else self.faulter.name,
             model=model.name,
             trace_length=len(ctx.trace),
-            total_faults=len(outcomes))
-        for point, outcome in sorted(outcomes,
-                                     key=lambda pair: pair[0].order):
-            report.outcomes[outcome] += 1
-            fault = None
-            if outcome == SUCCESS or collect_outcomes:
-                fault = self._fault_for(point, ctx, model)
-            if outcome == SUCCESS:
-                report.successes.append(fault)
-            if collect_outcomes:
-                report.all_outcomes.append(FaultOutcome(fault, outcome))
-        report.meta = {
-            "backend": backend.name,
-            "space": space.describe(),
-            "checkpoint_interval": _interval_meta(backend),
-            "emulated_steps": emulated,
-        }
-        return report
+            fault_for=lambda point: self._fault_for(point, ctx, model),
+            collect_outcomes=collect_outcomes,
+        )
+        for point, outcome in backend.iter_outcomes(
+            self.faulter, model, space, ctx, stats
+        ):
+            builder.add(point, outcome)
+        return builder.finish(
+            meta={
+                "backend": backend.name,
+                "space": space.describe(),
+                "checkpoint_interval": _interval_meta(backend),
+                "stream": getattr(backend, "stream", False),
+                "max_resident_points": getattr(
+                    backend, "max_resident_points", None
+                ),
+                "peak_resident_points": stats.peak_resident_points,
+                "emulated_steps": stats.emulated_steps,
+            }
+        )
 
     @staticmethod
-    def _fault_for(point: FaultPoint, ctx: SpaceContext,
-                   model: FaultModel) -> Fault:
+    def _fault_for(
+        point: FaultPoint, ctx: SpaceContext, model: FaultModel
+    ) -> Fault:
         first = point.first_step
         detail = point.details[0]
         if point.arity > 1:
@@ -417,8 +809,13 @@ class CampaignEngine:
             for step, d in zip(point.steps[1:], point.details[1:]):
                 extra.extend((step, d))
             detail = (detail, *extra)
-        return Fault(model.name, first, ctx.trace[first],
-                     ctx.mnemonic(first), detail)
+        return Fault(
+            model.name,
+            first,
+            ctx.trace[first],
+            ctx.mnemonic(first),
+            detail,
+        )
 
 
 def _interval_meta(backend):

@@ -33,8 +33,9 @@ class FaultModel:
         """Concrete fault parameters injectable at ``insn``."""
         raise NotImplementedError
 
-    def apply(self, insn: Instruction, cpu: CPU,
-              detail: tuple) -> Optional[Instruction]:
+    def apply(
+        self, insn: Instruction, cpu: CPU, detail: tuple
+    ) -> Optional[Instruction]:
         """Perform the fault.
 
         Returns the replacement instruction to execute, or ``None`` for

@@ -5,7 +5,9 @@ faulter parallelizes across fault points.  This driver is a thin
 adapter over the unified campaign engine's
 :class:`~repro.faulter.engine.MultiprocessBackend`: one sequential
 probe validates the oracle and records the trace, the fault space is
-partitioned across a process pool, and each worker reuses the probe's
+partitioned into declarative enumeration-order windows (O(1) bytes
+per worker — see :class:`~repro.faulter.space.SpacePartition`), and
+each worker re-enumerates its own share locally, reusing the probe's
 validated baseline (continuation cap + grant marker) instead of
 re-validating it.  Results are bit-identical to the sequential
 campaign (asserted by the tests) because each fault simulation is
@@ -21,15 +23,18 @@ from repro.faulter.engine import MultiprocessBackend, default_workers
 from repro.faulter.report import CampaignReport
 
 
-def run_parallel_campaign(image: Executable | bytes,
-                          good_input: bytes,
-                          bad_input: bytes,
-                          grant_marker: bytes,
-                          model: str = "skip",
-                          name: str = "target",
-                          workers: int | None = None,
-                          checkpoint_interval: int | float | None = None
-                          ) -> CampaignReport:
+def run_parallel_campaign(
+    image: Executable | bytes,
+    good_input: bytes,
+    bad_input: bytes,
+    grant_marker: bytes,
+    model: str = "skip",
+    name: str = "target",
+    workers: int | None = None,
+    checkpoint_interval: int | float | None = None,
+    stream: bool | None = None,
+    max_resident_points: int | None = None,
+) -> CampaignReport:
     """Run a campaign across a process pool via the campaign engine."""
     if isinstance(image, (bytes, bytearray)):
         exe = read_elf(bytes(image))
@@ -43,9 +48,21 @@ def run_parallel_campaign(image: Executable | bytes,
     probe = Faulter(exe, good_input, bad_input, grant_marker, name=name)
     if len(probe.trace()) == 0 or workers <= 1:
         return probe.run_campaign(
-            model, checkpoint_interval=checkpoint_interval)
+            model,
+            checkpoint_interval=checkpoint_interval,
+            stream=stream,
+            max_resident_points=max_resident_points,
+        )
+    kwargs: dict = {}
+    if stream is not None:
+        kwargs["stream"] = stream
+    if max_resident_points is not None:
+        kwargs["max_resident_points"] = max_resident_points
     backend = MultiprocessBackend(
-        workers=workers, checkpoint_interval=checkpoint_interval)
+        workers=workers,
+        checkpoint_interval=checkpoint_interval,
+        **kwargs,
+    )
     return probe.run_campaign(model, backend=backend)
 
 
@@ -58,15 +75,25 @@ def _split(total: int, parts: int) -> list[range]:
     if total <= 0 or parts <= 0:
         return []
     size = max(1, (total + parts - 1) // parts)
-    return [range(start, min(start + size, total))
-            for start in range(0, total, size)]
+    return [
+        range(start, min(start + size, total))
+        for start in range(0, total, size)
+    ]
 
 
-def merge_reports(partials: list[CampaignReport], name: str,
-                  model: str, trace_length: int) -> CampaignReport:
+def merge_reports(
+    partials: list[CampaignReport],
+    name: str,
+    model: str,
+    trace_length: int,
+) -> CampaignReport:
     """Fold per-window partial reports into one (window-split legacy)."""
-    merged = CampaignReport(target=name, model=model,
-                            trace_length=trace_length, total_faults=0)
+    merged = CampaignReport(
+        target=name,
+        model=model,
+        trace_length=trace_length,
+        total_faults=0,
+    )
     for partial in partials:
         merged.total_faults += partial.total_faults
         merged.outcomes.update(partial.outcomes)

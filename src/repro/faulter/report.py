@@ -4,12 +4,18 @@ This module also owns the campaign *vocabulary* — the three outcome
 classes of Section IV-B.1, the :class:`Fault` record, and the outcome
 classifier — so the campaign drivers, the engine, and worker processes
 can all share it without importing each other.
+
+:class:`CampaignReportBuilder` assembles a report *incrementally*:
+the engine folds each ``(point, outcome)`` row into it as execution
+streams them in enumeration order, so a campaign never holds more
+than its reorder window of pending points in memory.
 """
 
 from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 SUCCESS = "success"
 CRASHED = "crash"
@@ -146,7 +152,8 @@ class CampaignReport:
             more = "" if point.count <= 4 else f", +{point.count - 4} more"
             lines.append(
                 f"    {point.address:#x} {point.mnemonic:<8} "
-                f"{point.count:>3} fault(s): {details}{more}")
+                f"{point.count:>3} fault(s): {details}{more}"
+            )
         return "\n".join(lines)
 
     def to_dict(self) -> dict:
@@ -187,11 +194,79 @@ class CampaignReport:
             trace_length=payload["trace_length"],
             total_faults=payload["total_faults"],
             outcomes=Counter(payload.get("outcomes", {})),
-            successes=[Fault.from_dict(f)
-                       for f in payload.get("successes", [])],
+            successes=[
+                Fault.from_dict(f) for f in payload.get("successes", [])
+            ],
             all_outcomes=[
                 FaultOutcome(Fault.from_dict(o["fault"]), o["outcome"])
                 for o in payload.get("all_outcomes", [])
             ],
             meta=dict(payload.get("meta", {})),
         )
+
+
+class CampaignReportBuilder:
+    """Streaming, enumeration-order assembly of a
+    :class:`CampaignReport`.
+
+    The engine calls :meth:`add` once per executed fault point, in
+    enumeration order (backends guarantee that ordering through their
+    reorder windows), and :meth:`finish` seals the report.  Folding a
+    row touches only counters and the success list, so assembly is
+    O(successes) resident instead of O(population).
+
+    ``fault_for`` lazily materializes the :class:`Fault` record for a
+    point; it is only invoked for successes (or for every row when
+    ``collect_outcomes`` is set), keeping the common crash/ignored
+    path allocation-free.
+    """
+
+    def __init__(
+        self,
+        target: str,
+        model: str,
+        trace_length: int,
+        fault_for: Callable[[object], Fault],
+        collect_outcomes: bool = False,
+    ):
+        self._report: Optional[CampaignReport] = CampaignReport(
+            target=target,
+            model=model,
+            trace_length=trace_length,
+            total_faults=0,
+        )
+        self._fault_for = fault_for
+        self._collect = collect_outcomes
+        self._last_order: Optional[int] = None
+
+    def add(self, point, outcome: str) -> None:
+        """Fold one executed fault point into the report."""
+        report = self._report
+        if report is None:
+            raise ValueError("builder already finished")
+        order = point.order
+        if self._last_order is not None and order < self._last_order:
+            raise ValueError(
+                "outcome stream out of enumeration order: "
+                f"{order} after {self._last_order}"
+            )
+        self._last_order = order
+        report.total_faults += 1
+        report.outcomes[outcome] += 1
+        fault = None
+        if outcome == SUCCESS or self._collect:
+            fault = self._fault_for(point)
+        if outcome == SUCCESS:
+            report.successes.append(fault)
+        if self._collect:
+            report.all_outcomes.append(FaultOutcome(fault, outcome))
+
+    def finish(self, meta: Optional[dict] = None) -> CampaignReport:
+        """Seal and return the assembled report."""
+        report = self._report
+        if report is None:
+            raise ValueError("builder already finished")
+        if meta is not None:
+            report.meta = dict(meta)
+        self._report = None
+        return report

@@ -16,18 +16,28 @@ Enumerators:
   population, seeded (statistical FI, Leveugle et al.),
 * :class:`KFaultProductSpace` — sampled k-tuples of distinct offsets
   per run (the multi-fault extension; k=2 is the pair campaign),
-* :class:`ExplicitSpace` — a literal point list (what a partition
-  ships to a worker process).
+* :class:`ExplicitSpace` — a literal point list (legacy escape hatch),
+* :class:`SpacePartition` — a contiguous enumeration-order window of
+  any base space, re-enumerated locally (what a partition ships to a
+  worker process: a (space spec, window) pair, never a point dump).
 
 Each point carries its enumeration ``order`` so a backend may execute
 points in whatever order is fastest (e.g. sorted by trace offset for
 checkpoint reuse) while the report is still assembled in enumeration
 order — making reports bit-identical across backends.
+
+Every space is *streamable*: ``enumerate`` yields lazily,
+``enumerate_window`` yields only the ``[start, stop)`` slice of the
+enumeration sequence (re-enumerating locally, jumping directly where
+the space's structure allows it), and ``count`` sizes the space
+without materializing points.  ``partition`` composes these into
+declarative, picklable sub-specs.
 """
 
 from __future__ import annotations
 
 import bisect
+import itertools
 import random
 from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
@@ -67,9 +77,13 @@ class FaultPoint:
 class SpaceContext:
     """Binds fault-space specs to one concrete bad-input trace."""
 
-    def __init__(self, model, trace: Sequence[int],
-                 variants_at: Callable[[int], Sequence[tuple]],
-                 mnemonic_at: Callable[[int], str] | None = None):
+    def __init__(
+        self,
+        model,
+        trace: Sequence[int],
+        variants_at: Callable[[int], Sequence[tuple]],
+        mnemonic_at: Callable[[int], str] | None = None,
+    ):
         self.model = model
         self.trace = list(trace)
         self._variants_at = variants_at
@@ -120,23 +134,46 @@ class FaultSpace:
     def enumerate(self, ctx: SpaceContext) -> Iterator[FaultPoint]:
         raise NotImplementedError
 
-    def partition(self, ctx: SpaceContext,
-                  parts: int) -> list["ExplicitSpace"]:
-        """Split into up to ``parts`` explicit sub-spaces.
+    def count(self, ctx: SpaceContext) -> int:
+        """Number of points, without materializing them.
 
-        Points are dealt to contiguous chunks of the enumeration order,
-        which both balances variant-heavy offsets across workers and
-        keeps each chunk's report fragment in enumeration order.
+        The default streams the enumeration and counts; spaces whose
+        size is closed-form override it.
         """
-        points = list(self.enumerate(ctx))
-        if not points:
+        return sum(1 for _ in self.enumerate(ctx))
+
+    def enumerate_window(
+        self, ctx: SpaceContext, start: int, stop: int
+    ) -> Iterator[FaultPoint]:
+        """Yield the ``[start, stop)`` slice of the enumeration.
+
+        The default filters the full (lazy) enumeration; spaces whose
+        structure supports random access override it to jump directly.
+        Memory stays O(1): nothing outside the slice is retained.
+        """
+        return itertools.islice(self.enumerate(ctx), start, stop)
+
+    def partition(
+        self, ctx: SpaceContext, parts: int
+    ) -> list["SpacePartition"]:
+        """Split into up to ``parts`` declarative sub-specs.
+
+        Each partition is a contiguous window of the enumeration order
+        — which both balances variant-heavy offsets across workers and
+        keeps each partition's report fragment in enumeration order —
+        described as a ``(base space, start, stop)`` triple that
+        re-enumerates locally.  Pickled size is O(1) in the number of
+        points, so shipping a partition to a worker process costs the
+        same for a hundred points as for a million.
+        """
+        total = self.count(ctx)
+        if not total:
             return []
-        parts = max(1, min(parts, len(points)))
-        size = (len(points) + parts - 1) // parts
+        parts = max(1, min(parts, total))
+        size = (total + parts - 1) // parts
         return [
-            ExplicitSpace(points=tuple(points[start:start + size]),
-                          cap_policy=self.cap_policy)
-            for start in range(0, len(points), size)
+            SpacePartition(self, start, min(start + size, total))
+            for start in range(0, total, size)
         ]
 
     def describe(self) -> str:
@@ -154,6 +191,28 @@ class ExhaustiveSpace(FaultSpace):
                 yield FaultPoint(order, (step,), (detail,))
                 order += 1
 
+    def count(self, ctx: SpaceContext) -> int:
+        return ctx.population()
+
+    def enumerate_window(
+        self, ctx: SpaceContext, start: int, stop: int
+    ) -> Iterator[FaultPoint]:
+        # enumeration order == flat population index, so the window
+        # start is located directly instead of skipping toward it
+        stop = min(stop, ctx.population())
+        if start >= stop:
+            return
+        step, variant_index = ctx.locate(start)
+        order = start
+        while order < stop:
+            variants = ctx.variants(step)
+            while variant_index < len(variants) and order < stop:
+                yield FaultPoint(order, (step,), (variants[variant_index],))
+                order += 1
+                variant_index += 1
+            variant_index = 0
+            step += 1
+
     def describe(self) -> str:
         return "exhaustive"
 
@@ -164,14 +223,18 @@ class WindowedSpace(FaultSpace):
 
     indices: tuple[int, ...]
 
+    def _valid(self, ctx: SpaceContext) -> list[int]:
+        return sorted({i for i in self.indices if 0 <= i < len(ctx.trace)})
+
     def enumerate(self, ctx: SpaceContext) -> Iterator[FaultPoint]:
         order = 0
-        valid = sorted({i for i in self.indices
-                        if 0 <= i < len(ctx.trace)})
-        for step in valid:
+        for step in self._valid(ctx):
             for detail in ctx.variants(step):
                 yield FaultPoint(order, (step,), (detail,))
                 order += 1
+
+    def count(self, ctx: SpaceContext) -> int:
+        return sum(len(ctx.variants(step)) for step in self._valid(ctx))
 
     def describe(self) -> str:
         return f"windowed[{len(self.indices)}]"
@@ -183,20 +246,36 @@ class SampledSpace(FaultSpace):
 
     Reproduces the statistical-FI sampling discipline: a seeded
     ``random.sample`` over ``range(population)``, each flat index
-    mapped back to its (offset, variant) pair.
+    mapped back to its (offset, variant) pair.  The seeded draw makes
+    the space splittable: any process can re-draw the same sample
+    locally and slice out its own window.
     """
 
     samples: int
     seed: int = 0
     cap_policy = TOTAL_CAP
 
-    def enumerate(self, ctx: SpaceContext) -> Iterator[FaultPoint]:
+    def _chosen(self, ctx: SpaceContext) -> list[int]:
         population = ctx.population()
         count = min(self.samples, population)
         rng = random.Random(self.seed)
-        chosen = rng.sample(range(population), count) if count else []
-        for order, flat_index in enumerate(chosen):
+        return rng.sample(range(population), count) if count else []
+
+    def enumerate(self, ctx: SpaceContext) -> Iterator[FaultPoint]:
+        for order, flat_index in enumerate(self._chosen(ctx)):
             step, variant_index = ctx.locate(flat_index)
+            detail = ctx.variants(step)[variant_index]
+            yield FaultPoint(order, (step,), (detail,))
+
+    def count(self, ctx: SpaceContext) -> int:
+        return min(self.samples, ctx.population())
+
+    def enumerate_window(
+        self, ctx: SpaceContext, start: int, stop: int
+    ) -> Iterator[FaultPoint]:
+        chosen = self._chosen(ctx)
+        for order in range(max(start, 0), min(stop, len(chosen))):
+            step, variant_index = ctx.locate(chosen[order])
             detail = ctx.variants(step)[variant_index]
             yield FaultPoint(order, (step,), (detail,))
 
@@ -213,6 +292,10 @@ class KFaultProductSpace(FaultSpace):
     Draw k offsets (rejecting tuples with repeats), sort them, then
     draw one variant per offset — for k=2 this is exactly the legacy
     pair-campaign RNG sequence, so reports stay bit-identical.
+
+    Rejection sampling makes the point count data-dependent, so
+    ``count`` and ``enumerate_window`` replay the RNG sequence from
+    the seed — still O(1) memory, which is what partitioning needs.
     """
 
     k: int = 2
@@ -240,25 +323,80 @@ class KFaultProductSpace(FaultSpace):
                 # undecodable tail of a crashing bad-input run);
                 # reject before consuming any variant-choice RNG
                 continue
-            details = tuple(rng.choice(ctx.variants(step))
-                            for step in draws)
+            details = tuple(rng.choice(ctx.variants(step)) for step in draws)
             yield FaultPoint(order, tuple(draws), details)
             order += 1
 
     def describe(self) -> str:
-        return (f"k-fault[k={self.k}, n={self.samples}, "
-                f"seed={self.seed}]")
+        return f"k-fault[k={self.k}, n={self.samples}, seed={self.seed}]"
 
 
 @dataclass(frozen=True)
 class ExplicitSpace(FaultSpace):
-    """A literal list of fault points (a partition's worker share)."""
+    """A literal list of fault points (legacy escape hatch).
+
+    Worker partitions no longer use this — they ship a
+    :class:`SpacePartition` instead — but explicit lists remain useful
+    for replaying a known point set (e.g. re-checking a prior report's
+    successes).  Enumeration yields the points sorted by their
+    ``order`` field: reports were always assembled in that order, and
+    ascending enumeration is what lets the streaming fold accept a
+    hand-built list regardless of how it was arranged.
+    """
 
     points: tuple[FaultPoint, ...]
     cap_policy: str = SUFFIX_CAP
 
     def enumerate(self, ctx: SpaceContext) -> Iterator[FaultPoint]:
-        yield from self.points
+        yield from sorted(self.points, key=lambda point: point.order)
+
+    def count(self, ctx: SpaceContext) -> int:
+        return len(self.points)
 
     def describe(self) -> str:
         return f"explicit[{len(self.points)}]"
+
+
+@dataclass(frozen=True)
+class SpacePartition(FaultSpace):
+    """A contiguous enumeration-order window of a base space.
+
+    The declarative form of one worker's share: pickling it ships the
+    base space spec plus two integers, and the worker re-enumerates
+    its ``[start, stop)`` slice locally against its own context —
+    inter-process traffic is O(1) per worker instead of O(points).
+    """
+
+    base: FaultSpace
+    start: int
+    stop: int
+
+    @property
+    def cap_policy(self) -> str:  # type: ignore[override]
+        return self.base.cap_policy
+
+    def enumerate(self, ctx: SpaceContext) -> Iterator[FaultPoint]:
+        return self.base.enumerate_window(ctx, self.start, self.stop)
+
+    def count(self, ctx: SpaceContext) -> int:
+        return max(0, self.stop - self.start)
+
+    def partition(
+        self, ctx: SpaceContext, parts: int
+    ) -> list["SpacePartition"]:
+        total = self.count(ctx)
+        if not total:
+            return []
+        parts = max(1, min(parts, total))
+        size = (total + parts - 1) // parts
+        return [
+            SpacePartition(
+                self.base,
+                self.start + offset,
+                min(self.start + offset + size, self.stop),
+            )
+            for offset in range(0, total, size)
+        ]
+
+    def describe(self) -> str:
+        return f"{self.base.describe()}[{self.start}:{self.stop}]"

@@ -26,12 +26,15 @@ def z_score(confidence: float) -> float:
     try:
         return _Z[round(confidence, 2)]
     except KeyError:
-        raise ValueError(
-            f"confidence must be one of {sorted(_Z)}") from None
+        raise ValueError(f"confidence must be one of {sorted(_Z)}") from None
 
 
-def required_samples(population: int, margin: float,
-                     confidence: float = 0.95, p: float = 0.5) -> int:
+def required_samples(
+    population: int,
+    margin: float,
+    confidence: float = 0.95,
+    p: float = 0.5,
+) -> int:
     """Sample size for a target error margin (Leveugle et al., eq. 4).
 
     ``n = N / (1 + e^2 (N-1) / (z^2 p (1-p)))`` — the finite-population
@@ -42,8 +45,7 @@ def required_samples(population: int, margin: float,
         return 0
     z = z_score(confidence)
     numerator = population
-    denominator = 1 + (margin ** 2) * (population - 1) / \
-        (z ** 2 * p * (1 - p))
+    denominator = 1 + (margin**2) * (population - 1) / (z**2 * p * (1 - p))
     return min(population, math.ceil(numerator / denominator))
 
 
@@ -72,38 +74,44 @@ class StatisticalEstimate:
         z = z_score(self.confidence)
         p = self.point
         base = z * math.sqrt(max(p * (1 - p), 1e-12) / self.samples)
-        fpc = math.sqrt((self.population - self.samples)
-                        / (self.population - 1))
+        fpc = math.sqrt(
+            (self.population - self.samples) / (self.population - 1)
+        )
         return base * fpc
 
     @property
     def interval(self) -> tuple[float, float]:
-        return (max(0.0, self.point - self.margin),
-                min(1.0, self.point + self.margin))
+        return (
+            max(0.0, self.point - self.margin),
+            min(1.0, self.point + self.margin),
+        )
 
     def summary(self) -> str:
         low, high = self.interval
-        return (f"statistical FI [{self.model}]: "
-                f"{self.successes}/{self.samples} successful "
-                f"(population {self.population}) -> "
-                f"p = {100 * self.point:.3f}% "
-                f"± {100 * self.margin:.3f}% "
-                f"@ {100 * self.confidence:.0f}% confidence "
-                f"[{100 * low:.3f}%, {100 * high:.3f}%]")
+        return (
+            f"statistical FI [{self.model}]: "
+            f"{self.successes}/{self.samples} successful "
+            f"(population {self.population}) -> "
+            f"p = {100 * self.point:.3f}% "
+            f"± {100 * self.margin:.3f}% "
+            f"@ {100 * self.confidence:.0f}% confidence "
+            f"[{100 * low:.3f}%, {100 * high:.3f}%]"
+        )
 
 
 DEFAULT_CHECKPOINT_INTERVAL = 64
 
 
-def estimate_vulnerability(faulter: Faulter,
-                           model: FaultModel | str = "bitflip",
-                           margin: float = 0.02,
-                           confidence: float = 0.95,
-                           samples: int | None = None,
-                           seed: int = 0,
-                           backend=None,
-                           checkpoint_interval: int | float | None = None
-                           ) -> StatisticalEstimate:
+def estimate_vulnerability(
+    faulter: Faulter,
+    model: FaultModel | str = "bitflip",
+    margin: float = 0.02,
+    confidence: float = 0.95,
+    samples: int | None = None,
+    seed: int = 0,
+    backend=None,
+    checkpoint_interval: int | float | None = None,
+) -> StatisticalEstimate:
     """Sample the fault space of ``faulter``'s bad-input trace.
 
     ``samples`` overrides the Leveugle-sized default.  Sampling is
@@ -125,17 +133,27 @@ def estimate_vulnerability(faulter: Faulter,
     samples = min(samples, population)
 
     if backend is None:
-        interval = DEFAULT_CHECKPOINT_INTERVAL \
-            if checkpoint_interval is None else checkpoint_interval
+        if checkpoint_interval is None:
+            interval = DEFAULT_CHECKPOINT_INTERVAL
+        else:
+            interval = checkpoint_interval
         backend = SequentialBackend(checkpoint_interval=interval)
     else:
         backend = resolve_backend(
-            backend, checkpoint_interval=checkpoint_interval)
+            backend, checkpoint_interval=checkpoint_interval
+        )
     space = SampledSpace(samples=samples, seed=seed)
-    report = engine.run(model, space, backend=backend,
-                        target=f"{faulter.name}(sampled)")
+    report = engine.run(
+        model,
+        space,
+        backend=backend,
+        target=f"{faulter.name}(sampled)",
+    )
     return StatisticalEstimate(
-        model=model.name, population=population, samples=samples,
+        model=model.name,
+        population=population,
+        samples=samples,
         successes=report.outcomes.get(SUCCESS, 0),
         crashes=report.outcomes.get(CRASHED, 0),
-        confidence=confidence)
+        confidence=confidence,
+    )

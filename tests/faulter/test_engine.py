@@ -96,7 +96,8 @@ class TestSpaces:
         space = ExhaustiveSpace()
         whole = list(space.enumerate(ctx))
         parts = space.partition(ctx, 4)
-        recombined = [p for part in parts for p in part.points]
+        recombined = [p for part in parts
+                      for p in part.enumerate(ctx)]
         assert recombined == whole
         assert len(parts) == 4
 
