@@ -1,31 +1,50 @@
 """Top-level convenience API.
 
-Two entry points mirror the paper's two methodologies::
+Three entry points mirror the paper's methodologies::
 
-    from repro.api import find_vulnerabilities, harden_binary
+    from repro.api import (find_vulnerabilities, harden_binary,
+                           evaluate_countermeasures)
 
     report = find_vulnerabilities(exe, good, bad, marker,
                                   models=("skip", "bitflip"))
 
     result = harden_binary(exe, good_input=good, bad_input=bad,
                            grant_marker=marker,
-                           approach="faulter+patcher")   # or "hybrid"
+                           approach="faulter+patcher")   # or "hybrid",
+                                                         # or "detour"
+
+    evaluation = evaluate_countermeasures(exe, good, bad, marker,
+                                          approach="faulter+patcher")
+    print(evaluation.diff.table())
+
+``evaluate_countermeasures`` is the paper's actual evaluation loop
+(Tables III-V): baseline campaign -> harden -> re-fault -> join the two
+campaigns point-by-point through the rewrite's provenance map.
 """
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
 
 from repro.binfmt.image import Executable
 from repro.binfmt.reader import read_elf
 from repro.binfmt.writer import write_elf
+from repro.detour.rewriter import DetourResult, detour_harden
 from repro.faulter.campaign import Faulter
 from repro.faulter.engine import resolve_backend
-from repro.faulter.report import CampaignReport
+from repro.faulter.report import (
+    CampaignReport,
+    DifferentialReport,
+    differential_report,
+)
 from repro.hybrid.pipeline import HybridResult, hybrid_harden
 from repro.patcher.loop import FaulterPatcherLoop, HardenResult
+from repro.provenance import ProvenanceMap
 
-APPROACHES = ("faulter+patcher", "hybrid")
+APPROACHES = ("faulter+patcher", "hybrid", "detour")
+
+HardeningResult = Union[HardenResult, HybridResult, DetourResult]
 
 
 def _as_executable(image: Union[Executable, bytes]) -> Executable:
@@ -87,14 +106,18 @@ def harden_binary(image: Union[Executable, bytes],
                   approach: str = "faulter+patcher",
                   fault_models: Sequence[str] = ("skip",),
                   name: str = "target",
-                  **kwargs) -> Union[HardenResult, HybridResult]:
-    """Harden a binary with one of the paper's two approaches.
+                  **kwargs) -> HardeningResult:
+    """Harden a binary with one of the paper's rewriting approaches.
 
     ``approach="faulter+patcher"`` runs the iterative Fig. 2 loop
     (extra kwargs: ``max_iterations``, ``symbolization``);
     ``approach="hybrid"`` runs the lift-harden-lower pipeline of
     Fig. 3 (extra kwargs: ``uid_seed``, ``branch_filter``,
-    ``fold_constants``).
+    ``fold_constants``); ``approach="detour"`` applies the
+    duplication countermeasure through trampolines (Section III-B's
+    classic alternative).  All three results carry a
+    :class:`~repro.provenance.ProvenanceMap` for differential
+    evaluation.
     """
     exe = _as_executable(image)
     if approach == "faulter+patcher":
@@ -106,10 +129,131 @@ def harden_binary(image: Union[Executable, bytes],
         return hybrid_harden(
             exe, good_input, bad_input, grant_marker, name=name,
             models=fault_models, **kwargs)
+    if approach == "detour":
+        return detour_harden(
+            exe, good_input, bad_input, grant_marker, name=name,
+            models=fault_models, **kwargs)
     raise ValueError(
         f"unknown approach {approach!r}; pick one of {APPROACHES}")
 
 
-def hardened_elf(result: Union[HardenResult, HybridResult]) -> bytes:
+def hardened_elf(result: HardeningResult) -> bytes:
     """Serialize a hardening result to ELF bytes."""
     return write_elf(result.hardened)
+
+
+# ---------------------------------------------------------------------------
+# differential countermeasure evaluation (the paper's Tables III-V loop)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class EvaluationResult:
+    """Outcome of one baseline -> harden -> re-fault -> diff cycle."""
+
+    approach: str
+    result: HardeningResult
+    baseline_reports: dict[str, CampaignReport] = field(
+        default_factory=dict)
+    hardened_reports: dict[str, CampaignReport] = field(
+        default_factory=dict)
+    diff: DifferentialReport = field(
+        default_factory=lambda: DifferentialReport(target="target"))
+
+    @property
+    def hardened(self) -> Executable:
+        return self.result.hardened
+
+    @property
+    def provenance(self) -> ProvenanceMap:
+        return self.result.provenance
+
+    def to_dict(self) -> dict:
+        return {
+            "approach": self.approach,
+            "harden": self.result.to_dict(),
+            "baseline_reports": {
+                model: report.to_dict()
+                for model, report in self.baseline_reports.items()
+            },
+            "hardened_reports": {
+                model: report.to_dict()
+                for model, report in self.hardened_reports.items()
+            },
+            "diff": self.diff.to_dict(),
+        }
+
+    def report(self) -> str:
+        return "\n".join((self.result.report(), self.diff.table()))
+
+
+def _section_namer(exe: Executable):
+    def name_of(address: int) -> str:
+        section = exe.section_at(address)
+        return section.name if section is not None else "?"
+    return name_of
+
+
+def evaluate_countermeasures(image: Union[Executable, bytes],
+                             good_input: bytes,
+                             bad_input: bytes,
+                             grant_marker: bytes,
+                             approach: str = "faulter+patcher",
+                             models: Sequence[str] = ("skip",),
+                             harden_models: Optional[Sequence[str]]
+                             = None,
+                             name: str = "target",
+                             backend: Union[str, object, None] = None,
+                             checkpoint_interval: Union[int, float,
+                                                        None] = None,
+                             workers: Union[int, None] = None,
+                             stream: Union[bool, None] = None,
+                             max_resident_points: Union[int, None]
+                             = None,
+                             **harden_kwargs) -> EvaluationResult:
+    """Run the full differential evaluation loop against one binary.
+
+    1. baseline fault campaigns (``models``) against the original,
+    2. harden with ``approach`` (the Fig. 2 loop iterates on
+       ``harden_models``, default ``("skip",)``; the other approaches
+       harden unconditionally),
+    3. re-fault the hardened binary under the same ``models`` and
+       engine knobs (streaming engine, any backend),
+    4. join both campaigns through the rewrite's provenance map into a
+       :class:`~repro.faulter.report.DifferentialReport` classifying
+       every point as eliminated/surviving/introduced/unmapped.
+    """
+    exe = _as_executable(image)
+    resolved = resolve_backend(backend, workers=workers,
+                               checkpoint_interval=checkpoint_interval,
+                               stream=stream,
+                               max_resident_points=max_resident_points)
+    baseline_faulter = Faulter(exe, good_input, bad_input, grant_marker,
+                               name=name)
+    baseline = baseline_faulter.run_all(models, backend=resolved)
+
+    if harden_models is None:
+        harden_models = ("skip",)
+    # only the Fig. 2 loop *consumes* fault models while hardening; for
+    # the other approaches they would merely duplicate step 3
+    fault_models = (harden_models if approach == "faulter+patcher"
+                    else ())
+    result = harden_binary(exe, good_input, bad_input, grant_marker,
+                           approach=approach, fault_models=fault_models,
+                           name=name, **harden_kwargs)
+
+    hardened_faulter = Faulter(result.hardened, good_input, bad_input,
+                               grant_marker, name=f"{name}-hardened")
+    hardened = hardened_faulter.run_all(models, backend=resolved)
+
+    diff = differential_report(
+        baseline, hardened, result.provenance, target=name,
+        section_of_original=_section_namer(exe),
+        section_of_rewritten=_section_namer(result.hardened))
+    return EvaluationResult(
+        approach=approach,
+        result=result,
+        baseline_reports=baseline,
+        hardened_reports=hardened,
+        diff=diff,
+    )

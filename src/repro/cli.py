@@ -1,30 +1,48 @@
-"""``r2r`` command line: fault, patch, and harden binaries.
+"""``r2r`` command line: fault, patch, harden, and compare binaries.
 
 Subcommands::
 
-    r2r fault  TARGET.elf --good HEX --bad HEX --marker TEXT [--model M]
-               [--backend B] [--checkpoint-interval N] [--workers W]
-               [--k-faults K] [--samples S] [--seed SEED]
-               [--stream | --no-stream] [--max-resident-points N]
-    r2r harden TARGET.elf -o OUT.elf --approach {faulter+patcher,hybrid}
-    r2r demo   {pincheck,bootloader} --approach ...
-    r2r run    TARGET.elf [--stdin HEX]
-    r2r disasm TARGET.elf
+    r2r fault   TARGET.elf --good HEX --bad HEX --marker TEXT [--model M]
+                [--backend B] [--checkpoint-interval N] [--workers W]
+                [--k-faults K] [--samples S] [--seed SEED]
+                [--stream | --no-stream] [--max-resident-points N]
+    r2r harden  TARGET.elf -o OUT.elf
+                --approach {faulter+patcher,hybrid,detour} [--evaluate]
+    r2r compare TARGET --approach ... [--model M] [engine knobs]
+    r2r demo    {pincheck,bootloader} --approach ...
+    r2r run     TARGET.elf [--stdin HEX]
+    r2r disasm  TARGET.elf
 
 Inputs are passed as hex strings (``--good 31323334``) or with a
-``text:`` prefix (``--good text:1234``).
+``text:`` prefix (``--good text:1234``).  ``compare`` (and only
+``compare``) also accepts a bundled workload name
+(``pincheck``/``bootloader``/``corpus``) as TARGET, in which case the
+workload's own campaign inputs are used.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
-from repro.api import find_vulnerabilities, harden_binary, hardened_elf
+from repro.api import (
+    evaluate_countermeasures,
+    find_vulnerabilities,
+    harden_binary,
+    hardened_elf,
+)
 from repro.binfmt.reader import read_elf
 from repro.disasm import disassemble, pretty_print
 from repro.emu.machine import run_executable
-from repro.workloads import bootloader, pincheck
+from repro.errors import ReproError
+from repro.workloads import bootloader, corpus, pincheck
+
+WORKLOADS = {
+    "pincheck": pincheck.workload,
+    "bootloader": bootloader.workload,
+    "corpus": corpus.workload,
+}
 
 
 def _decode_input(text: str) -> bytes:
@@ -36,6 +54,28 @@ def _decode_input(text: str) -> bytes:
 def _load(path: str):
     with open(path, "rb") as handle:
         return read_elf(handle.read())
+
+
+def _resolve_compare_target(args):
+    """(exe, good, bad, marker, name) for a path or a bundled name."""
+    if args.target in WORKLOADS and not os.path.exists(args.target):
+        wl = WORKLOADS[args.target]()
+        good = (_decode_input(args.good) if args.good
+                else wl.good_input)
+        bad = _decode_input(args.bad) if args.bad else wl.bad_input
+        marker = (args.marker.encode() if args.marker
+                  else wl.grant_marker)
+        return wl.build(), good, bad, marker, wl.name
+    missing = [flag for flag, value in (("--good", args.good),
+                                        ("--bad", args.bad),
+                                        ("--marker", args.marker))
+               if not value]
+    if missing:
+        raise SystemExit(
+            f"r2r compare: error: {', '.join(missing)} required "
+            f"for file targets")
+    return (_load(args.target), _decode_input(args.good),
+            _decode_input(args.bad), args.marker.encode(), args.target)
 
 
 def _cmd_fault(args) -> int:
@@ -60,16 +100,48 @@ def _cmd_fault(args) -> int:
 
 
 def _cmd_harden(args) -> int:
-    result = harden_binary(
-        _load(args.target), _decode_input(args.good),
-        _decode_input(args.bad), args.marker.encode(),
-        approach=args.approach, fault_models=args.model,
-        name=args.target)
-    print(result.report())
+    if args.evaluate:
+        evaluation = evaluate_countermeasures(
+            _load(args.target), _decode_input(args.good),
+            _decode_input(args.bad), args.marker.encode(),
+            approach=args.approach, models=args.model,
+            harden_models=args.model, name=args.target)
+        print(evaluation.report())
+        result = evaluation.result
+    else:
+        result = harden_binary(
+            _load(args.target), _decode_input(args.good),
+            _decode_input(args.bad), args.marker.encode(),
+            approach=args.approach, fault_models=args.model,
+            name=args.target)
+        print(result.report())
     with open(args.output, "wb") as handle:
         handle.write(hardened_elf(result))
     print(f"hardened binary written to {args.output}")
     return 0
+
+
+def _cmd_compare(args) -> int:
+    exe, good, bad, marker, name = _resolve_compare_target(args)
+    try:
+        evaluation = evaluate_countermeasures(
+            exe, good, bad, marker,
+            approach=args.approach, models=args.model,
+            harden_models=args.model, name=name,
+            backend=args.backend,
+            checkpoint_interval=args.checkpoint_interval,
+            workers=args.workers, stream=args.stream,
+            max_resident_points=args.max_resident_points)
+    except (ValueError, ReproError) as exc:
+        # conflicting engine knobs, broken oracles, or a hardening
+        # path refusing the binary (exit 2: distinct from "residual
+        # vulnerabilities")
+        print(f"r2r compare: error: {exc}", file=sys.stderr)
+        return 2
+    print(evaluation.report())
+    census = evaluation.diff.counts()
+    residual = census["surviving"] + census["introduced"]
+    return 0 if residual == 0 else 1
 
 
 def _cmd_demo(args) -> int:
@@ -158,14 +230,50 @@ def build_parser() -> argparse.ArgumentParser:
     harden.add_argument("target")
     harden.add_argument("-o", "--output", required=True)
     harden.add_argument("--approach", default="faulter+patcher",
-                        choices=["faulter+patcher", "hybrid"])
+                        choices=["faulter+patcher", "hybrid",
+                                 "detour"])
+    harden.add_argument("--evaluate", action="store_true",
+                        help="also run the differential evaluation "
+                             "loop (baseline campaign, re-fault the "
+                             "hardened binary, report eliminated/"
+                             "surviving/introduced/unmapped points)")
     add_campaign_args(harden)
     harden.set_defaults(func=_cmd_harden)
+
+    compare = sub.add_parser(
+        "compare",
+        help="differential countermeasure evaluation: campaign "
+             "before/after hardening, joined through the rewrite's "
+             "provenance map")
+    compare.add_argument("target",
+                         help="an ELF path, or a bundled workload "
+                              "name (pincheck/bootloader/corpus)")
+    compare.add_argument("--good", help="good input (hex or text:...)")
+    compare.add_argument("--bad", help="bad input (hex or text:...)")
+    compare.add_argument("--marker",
+                         help="stdout marker of the privileged "
+                              "behaviour")
+    compare.add_argument("--model", action="append", default=None,
+                         choices=["skip", "bitflip", "stuck0"],
+                         help="fault model(s); default: skip")
+    compare.add_argument("--approach", default="faulter+patcher",
+                         choices=["faulter+patcher", "hybrid",
+                                  "detour"])
+    compare.add_argument("--backend", default=None,
+                         choices=["sequential", "multiprocess"])
+    compare.add_argument("--checkpoint-interval", type=int,
+                         default=None)
+    compare.add_argument("--workers", type=int, default=None)
+    compare.add_argument("--stream", default=None,
+                         action=argparse.BooleanOptionalAction)
+    compare.add_argument("--max-resident-points", type=int,
+                         default=None)
+    compare.set_defaults(func=_cmd_compare)
 
     demo = sub.add_parser("demo", help="harden a bundled case study")
     demo.add_argument("case", choices=["pincheck", "bootloader"])
     demo.add_argument("--approach", default="faulter+patcher",
-                      choices=["faulter+patcher", "hybrid"])
+                      choices=["faulter+patcher", "hybrid", "detour"])
     demo.add_argument("--rich", action="store_true",
                       help="use the realistically sized variant")
     demo.add_argument("--model", action="append", default=None,

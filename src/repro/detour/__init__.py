@@ -13,6 +13,18 @@ countermeasure applied by detouring and by inline reassembly, compared
 on code size and dynamic instruction count.
 """
 
-from repro.detour.rewriter import DetourRewriter, DetourStats
+from repro.detour.rewriter import (
+    DetourResult,
+    DetourRewriter,
+    DetourStats,
+    detour_harden,
+    duplicate_with_detours,
+)
 
-__all__ = ["DetourRewriter", "DetourStats"]
+__all__ = [
+    "DetourResult",
+    "DetourRewriter",
+    "DetourStats",
+    "detour_harden",
+    "duplicate_with_detours",
+]

@@ -12,6 +12,7 @@ from repro.isa.encoder import encode
 from repro.isa.insn import Instruction, Mnemonic
 from repro.isa.operands import Imm, Mem
 from repro.isa.registers import RIP
+from repro.provenance import KIND_DERIVED, KIND_INSN, ProvenanceMap
 
 JMP_REL32_LEN = 5
 NOP = 0x90
@@ -52,6 +53,12 @@ class DetourRewriter:
         self.stats = DetourStats()
         self._branch_targets = self._collect_branch_targets()
         self._patched_ranges: list[tuple[int, int]] = []
+        # .text addresses never move under detouring; displaced
+        # instructions additionally gain exact trampoline mappings
+        self.provenance = ProvenanceMap(path="detour")
+        if self.text:
+            self.provenance.add_identity(
+                self.text_addr, self.text_addr + len(self.text))
 
     # -- public ------------------------------------------------------------
 
@@ -69,9 +76,16 @@ class DetourRewriter:
         entry = self.trampoline_base + len(self.trampoline)
         body: list[bytes] = []
         position = entry
-        for insn in instrumentation(displaced) + displaced:
+        injected = instrumentation(displaced)
+        for index, insn in enumerate(injected + displaced):
             code = self._reencode_at(insn, position)
             body.append(code)
+            if insn.address is not None:
+                # instrumentation copies protect their site (derived);
+                # the displaced originals relocate verbatim (insn)
+                kind = KIND_DERIVED if index < len(injected) \
+                    else KIND_INSN
+                self.provenance.add(insn.address, position, kind=kind)
             position += len(code)
         # jmp back to the resume point
         back = encode(Instruction(
@@ -119,14 +133,36 @@ class DetourRewriter:
         return (top + PAGE - 1) // PAGE * PAGE + PAGE
 
     def _collect_branch_targets(self) -> set[int]:
+        """Branch targets of every decodable ``.text`` instruction.
+
+        Decoding stays in lockstep with instruction boundaries: on a
+        :class:`DecodingError` (data embedded in ``.text``, exotic
+        encodings) the walk resynchronizes at the next known-good
+        boundary — the next ``.text`` symbol — instead of sliding one
+        byte forward, which would decode garbage mid-blob and mint
+        phantom branch targets (spuriously refusing legal detours).
+
+        Past the last symbol the walk falls back to the conservative
+        one-byte slide: it may over-approximate (phantom targets only
+        ever *refuse* detours, which is safe), but it never drops a
+        real target the window-overlap check depends on — important
+        for stripped binaries, where no boundaries exist at all.
+        """
         targets = set()
+        boundaries = sorted(
+            symbol.value - self.text_addr
+            for symbol in self.exe.symbols
+            if symbol.section == ".text"
+            and 0 <= symbol.value - self.text_addr < len(self.text))
         offset = 0
         while offset < len(self.text):
             try:
                 insn = decode(self.text, offset,
                               self.text_addr + offset)
             except DecodingError:
-                offset += 1
+                resume = next((b for b in boundaries if b > offset),
+                              None)
+                offset = resume if resume is not None else offset + 1
                 continue
             target = insn.branch_target()
             if target is not None:
@@ -194,15 +230,9 @@ class DetourRewriter:
         return encode(insn.with_operands(*new_ops))
 
 
-def duplicate_with_detours(exe: Executable) -> tuple[Executable,
-                                                     DetourStats]:
-    """Apply the duplication countermeasure via detours.
-
-    Every idempotent data instruction is displaced into a trampoline
-    that executes it twice — the detour-flavoured equivalent of the
-    inline duplication the patcher performs, used by the Section III-B
-    comparison benchmark.
-    """
+def _duplication_rewriter(exe: Executable) -> DetourRewriter:
+    """Detour every idempotent data instruction into a run-twice
+    trampoline (the duplication countermeasure, Section III-B)."""
     from repro.patcher.patterns import _is_idempotent
     from repro.gtirb.ir import InsnEntry
 
@@ -224,4 +254,118 @@ def duplicate_with_detours(exe: Executable) -> tuple[Executable,
     for address in addresses:
         rewriter.instrument(
             address, lambda displaced: [displaced[0]])
+    return rewriter
+
+
+def duplicate_with_detours(exe: Executable) -> tuple[Executable,
+                                                     DetourStats]:
+    """Apply the duplication countermeasure via detours.
+
+    Every idempotent data instruction is displaced into a trampoline
+    that executes it twice — the detour-flavoured equivalent of the
+    inline duplication the patcher performs, used by the Section III-B
+    comparison benchmark.
+    """
+    rewriter = _duplication_rewriter(exe)
     return rewriter.finish(), rewriter.stats
+
+
+@dataclass
+class DetourResult:
+    """Outcome of detour-based hardening (duplication via trampolines).
+
+    Mirrors the surface of ``HardenResult``/``HybridResult`` so the
+    countermeasure-evaluation loop treats all three rewriting paths
+    uniformly.
+    """
+
+    hardened: Executable
+    original_text_size: int
+    hardened_text_size: int
+    stats: DetourStats = field(default_factory=DetourStats)
+    provenance: ProvenanceMap = field(default_factory=lambda:
+                                      ProvenanceMap(path="detour"))
+    final_reports: dict = field(default_factory=dict)
+
+    @property
+    def overhead_percent(self) -> float:
+        """Code-size overhead (original text + trampoline bytes)."""
+        if self.original_text_size == 0:
+            return 0.0
+        return 100.0 * (self.hardened_text_size -
+                        self.original_text_size) \
+            / self.original_text_size
+
+    def to_dict(self) -> dict:
+        return {
+            "approach": "detour",
+            "original_text_size": self.original_text_size,
+            "hardened_text_size": self.hardened_text_size,
+            "overhead_percent": round(self.overhead_percent, 2),
+            "patched": self.stats.patched,
+            "refused": self.stats.refused,
+            "trampoline_bytes": self.stats.trampoline_bytes,
+            "provenance": self.provenance.to_dict(),
+            "final_reports": {
+                model: report.to_dict()
+                for model, report in self.final_reports.items()
+            },
+        }
+
+    def report(self) -> str:
+        lines = [
+            "Detour hardening report",
+            f"  text size: {self.original_text_size}B -> "
+            f"{self.hardened_text_size}B "
+            f"({self.overhead_percent:+.2f}%)",
+            f"  detours: {self.stats.patched} patched, "
+            f"{self.stats.refused} refused, "
+            f"{self.stats.trampoline_bytes}B trampoline",
+        ]
+        for model, report in self.final_reports.items():
+            lines.append(
+                f"  final[{model}]: "
+                f"{len(report.vulnerable_points())} vulnerable "
+                f"point(s)")
+        return "\n".join(lines)
+
+
+def detour_harden(exe: Executable,
+                  good_input: bytes,
+                  bad_input: bytes,
+                  grant_marker: bytes,
+                  name: str = "target",
+                  models=()) -> DetourResult:
+    """Duplication-via-detours hardening with behaviour validation.
+
+    ``models`` optionally re-runs fault campaigns against the hardened
+    binary (reported in ``final_reports``), mirroring the other two
+    hardening entry points.
+    """
+    from repro.emu.machine import run_executable
+
+    rewriter = _duplication_rewriter(exe)
+    hardened = rewriter.finish()
+    for label, stdin in (("good", good_input), ("bad", bad_input)):
+        want = run_executable(exe, stdin=stdin)
+        got = run_executable(hardened, stdin=stdin)
+        if want.behavior() != got.behavior():
+            raise RewriteError(
+                f"{name}: detour hardening changed {label}-input "
+                f"behaviour: {want} vs {got}")
+
+    result = DetourResult(
+        hardened=hardened,
+        original_text_size=exe.code_size(),
+        hardened_text_size=hardened.code_size(),
+        stats=rewriter.stats,
+        provenance=rewriter.provenance,
+    )
+    if models:
+        from repro.faulter.campaign import Faulter
+
+        faulter = Faulter(hardened, good_input, bad_input, grant_marker,
+                          name=f"{name}-detour")
+        result.final_reports = {
+            model: faulter.run_campaign(model) for model in models}
+    return result

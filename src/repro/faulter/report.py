@@ -17,9 +17,19 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.provenance import ProvenanceMap
+
 SUCCESS = "success"
 CRASHED = "crash"
 IGNORED = "ignored"
+
+# differential point classes (countermeasure evaluation)
+ELIMINATED = "eliminated"
+SURVIVING = "surviving"
+INTRODUCED = "introduced"
+UNMAPPED = "unmapped"
+
+DIFF_STATUSES = (ELIMINATED, SURVIVING, INTRODUCED, UNMAPPED)
 
 
 def classify_result(result, grant_marker: bytes) -> str:
@@ -270,3 +280,276 @@ class CampaignReportBuilder:
             report.meta = dict(meta)
         self._report = None
         return report
+
+
+# ---------------------------------------------------------------------------
+# differential countermeasure evaluation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiffPoint:
+    """One classified point of a before/after campaign comparison.
+
+    Baseline vulnerable points are classified ``eliminated``,
+    ``surviving`` or ``unmapped`` (``original_address`` is the
+    baseline point's address); post-hardening points with no baseline
+    counterpart are ``introduced`` (``original_address`` is the
+    pre-rewrite address they attribute to, if any).
+    ``rewritten_addresses`` lists the post-hardening vulnerable
+    addresses that map to this point (empty for eliminated/unmapped).
+    """
+
+    model: str
+    status: str
+    original_address: Optional[int]
+    rewritten_addresses: tuple = ()
+    mnemonic: str = ""
+    baseline_faults: int = 0
+    hardened_faults: int = 0
+    section: str = "?"
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "status": self.status,
+            "original_address": self.original_address,
+            "rewritten_addresses": list(self.rewritten_addresses),
+            "mnemonic": self.mnemonic,
+            "baseline_faults": self.baseline_faults,
+            "hardened_faults": self.hardened_faults,
+            "section": self.section,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DiffPoint":
+        return cls(
+            model=payload["model"],
+            status=payload["status"],
+            original_address=payload.get("original_address"),
+            rewritten_addresses=tuple(
+                payload.get("rewritten_addresses", [])),
+            mnemonic=payload.get("mnemonic", ""),
+            baseline_faults=payload.get("baseline_faults", 0),
+            hardened_faults=payload.get("hardened_faults", 0),
+            section=payload.get("section", "?"),
+        )
+
+
+@dataclass
+class DifferentialReport:
+    """Point-level join of a baseline campaign against a post-hardening
+    campaign through a :class:`~repro.provenance.ProvenanceMap`.
+
+    Invariant (per model): every baseline vulnerable point appears as
+    exactly one ``eliminated``/``surviving``/``unmapped`` point, so
+    those three classes sum to the baseline vulnerable-point count;
+    ``introduced`` points are additional post-hardening points with no
+    vulnerable baseline counterpart.
+    """
+
+    target: str
+    models: list[str] = field(default_factory=list)
+    points: list["DiffPoint"] = field(default_factory=list)
+    meta: dict = field(default_factory=dict, compare=False)
+
+    # -- rollups -----------------------------------------------------------
+
+    def counts(self, model: Optional[str] = None,
+               section: Optional[str] = None) -> Counter:
+        """Status census, optionally restricted to a model/section."""
+        census: Counter = Counter({status: 0 for status in DIFF_STATUSES})
+        for point in self.points:
+            if model is not None and point.model != model:
+                continue
+            if section is not None and point.section != section:
+                continue
+            census[point.status] += 1
+        return census
+
+    def by_model(self) -> dict[str, Counter]:
+        return {model: self.counts(model=model) for model in self.models}
+
+    def by_section(self) -> dict[str, Counter]:
+        sections = sorted({point.section for point in self.points})
+        return {section: self.counts(section=section)
+                for section in sections}
+
+    def baseline_points(self, model: Optional[str] = None) -> int:
+        """Number of baseline vulnerable points covered by the join."""
+        census = self.counts(model=model)
+        return census[ELIMINATED] + census[SURVIVING] + census[UNMAPPED]
+
+    def eliminated_percent(self, model: Optional[str] = None) -> float:
+        baseline = self.baseline_points(model)
+        if baseline == 0:
+            return 100.0
+        return 100.0 * self.counts(model=model)[ELIMINATED] / baseline
+
+    # -- rendering ---------------------------------------------------------
+
+    def table(self) -> str:
+        """Human-readable before/after comparison."""
+        lines = [
+            f"differential evaluation: target={self.target} "
+            f"models={','.join(self.models) or '-'}"
+        ]
+        for model in self.models:
+            census = self.counts(model=model)
+            lines.append(
+                f"  [{model}] baseline points: "
+                f"{self.baseline_points(model)}  "
+                f"eliminated={census[ELIMINATED]} "
+                f"surviving={census[SURVIVING]} "
+                f"introduced={census[INTRODUCED]} "
+                f"unmapped={census[UNMAPPED]} "
+                f"({self.eliminated_percent(model):.0f}% eliminated)")
+            for point in self.points:
+                if point.model != model:
+                    continue
+                where = ("-" if point.original_address is None
+                         else f"{point.original_address:#x}")
+                moved = ",".join(f"{a:#x}"
+                                 for a in point.rewritten_addresses)
+                detail = f" -> {moved}" if moved else ""
+                lines.append(
+                    f"    {point.status:<10} {where:>10} "
+                    f"{point.mnemonic:<8} [{point.section}] "
+                    f"base={point.baseline_faults} "
+                    f"hard={point.hardened_faults}{detail}")
+        by_section = self.by_section()
+        if by_section:
+            lines.append("  by section:")
+            for section, census in by_section.items():
+                rendered = " ".join(f"{status}={census[status]}"
+                                    for status in DIFF_STATUSES)
+                lines.append(f"    {section:<12} {rendered}")
+        return "\n".join(lines)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Lossless, JSON-safe serialization (see :meth:`from_dict`)."""
+        return {
+            "target": self.target,
+            "models": list(self.models),
+            "points": [point.to_dict() for point in self.points],
+            "rollup_by_model": {
+                model: dict(census)
+                for model, census in self.by_model().items()
+            },
+            "rollup_by_section": {
+                section: dict(census)
+                for section, census in self.by_section().items()
+            },
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "DifferentialReport":
+        """Rebuild a report serialized by :meth:`to_dict`.
+
+        Round-trips losslessly (``from_dict(r.to_dict()) == r``); the
+        rollups are derived data and are recomputed, not read back.
+        """
+        return cls(
+            target=payload["target"],
+            models=list(payload.get("models", [])),
+            points=[DiffPoint.from_dict(p)
+                    for p in payload.get("points", [])],
+            meta=dict(payload.get("meta", {})),
+        )
+
+
+def differential_report(
+    baseline: dict[str, CampaignReport],
+    hardened: dict[str, CampaignReport],
+    provenance: ProvenanceMap,
+    target: str = "target",
+    section_of_original: Optional[Callable[[int], str]] = None,
+    section_of_rewritten: Optional[Callable[[int], str]] = None,
+) -> DifferentialReport:
+    """Join per-model campaign pairs through a provenance map.
+
+    Models present on only one side are skipped (recorded in
+    ``meta["models_skipped"]``).  ``section_of_original`` /
+    ``section_of_rewritten`` resolve addresses to section names for the
+    per-section rollups (defaulting to ``"?"``).
+    """
+    def _section(resolver, address):
+        if resolver is None or address is None:
+            return "?"
+        return resolver(address)
+
+    models = [model for model in baseline if model in hardened]
+    skipped = sorted((set(baseline) | set(hardened)) - set(models))
+    points: list[DiffPoint] = []
+    for model in models:
+        base_points = {p.address: p
+                       for p in baseline[model].vulnerable_points()}
+        base_keys = {address: provenance.normalize_original(address)
+                     for address in base_points}
+        vulnerable_keys = {key for key in base_keys.values()
+                           if key is not None}
+
+        # attribute every post-hardening point to its original key
+        survivors: dict[int, list[VulnerablePoint]] = {}
+        intro_groups: dict[tuple, list[VulnerablePoint]] = {}
+        intro_keys: dict[tuple, Optional[int]] = {}
+        for point in hardened[model].vulnerable_points():
+            key = provenance.to_original(point.address)
+            if key is not None and key in vulnerable_keys:
+                survivors.setdefault(key, []).append(point)
+            else:
+                group = (("mapped", key) if key is not None
+                         else ("raw", point.address))
+                intro_groups.setdefault(group, []).append(point)
+                intro_keys[group] = key
+
+        for address in sorted(base_points):
+            base_point = base_points[address]
+            key = base_keys[address]
+            if key is None:
+                status, mapped = UNMAPPED, []
+            elif key in survivors:
+                status, mapped = SURVIVING, survivors[key]
+            else:
+                status, mapped = ELIMINATED, []
+            points.append(DiffPoint(
+                model=model,
+                status=status,
+                original_address=address,
+                rewritten_addresses=tuple(
+                    sorted(p.address for p in mapped)),
+                mnemonic=base_point.mnemonic,
+                baseline_faults=base_point.count,
+                hardened_faults=sum(p.count for p in mapped),
+                section=_section(section_of_original, address),
+            ))
+
+        for group in sorted(intro_groups, key=lambda g: g[1]):
+            mapped = intro_groups[group]
+            key = intro_keys[group]
+            section = (_section(section_of_original, key)
+                       if key is not None else
+                       _section(section_of_rewritten, mapped[0].address))
+            points.append(DiffPoint(
+                model=model,
+                status=INTRODUCED,
+                original_address=key,
+                rewritten_addresses=tuple(
+                    sorted(p.address for p in mapped)),
+                mnemonic=mapped[0].mnemonic,
+                baseline_faults=0,
+                hardened_faults=sum(p.count for p in mapped),
+                section=section,
+            ))
+
+    meta = {
+        "provenance_path": provenance.path,
+        "provenance_counts": provenance.counts(),
+    }
+    if skipped:
+        meta["models_skipped"] = skipped
+    return DifferentialReport(
+        target=target, models=models, points=points, meta=meta)

@@ -80,7 +80,7 @@ class BranchHardening:
             self.stats.uids[block.name] = uid
         return uids
 
-    # -- pass entry ------------------------------------------------------------
+    # -- pass entry --------------------------------------------------------
 
     def run(self, target: IRModule | Function) -> bool:
         functions = (target.functions if isinstance(target, IRModule)
@@ -104,7 +104,7 @@ class BranchHardening:
             changed = True
         return changed
 
-    # -- per-branch rewrite ------------------------------------------------------
+    # -- per-branch rewrite ------------------------------------------------
 
     def _checksum(self, builder: IRBuilder, cond, uid_src: int,
                   uid_true: int, uid_false: int):
@@ -221,6 +221,11 @@ class BranchHardening:
         builder1 = IRBuilder(check1)
         switch1 = builder1.switch(d1, fault_response)
         switch1.add_case(expected, check2)
+
+        # validation code guards the *source* block's edge: attribute
+        # faults landing there back to the source's guest block
+        for inserted in (fault_response, check2, check1):
+            inserted.copy_guest_origin(source)
 
         for phi in destination.phis():
             phi.replace_incoming_block(source, check2)

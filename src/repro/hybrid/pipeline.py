@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.binfmt.image import Executable
 from repro.emu.machine import run_executable
-from repro.errors import ReproError
+from repro.errors import ReproError, RewriteError
 from repro.faulter.campaign import Faulter
 from repro.faulter.report import CampaignReport
 from repro.hybrid.branch_harden import HardeningStats, harden_branches
@@ -17,6 +18,7 @@ from repro.ir.passes.pass_manager import standard_cleanup
 from repro.ir.verifier import verify
 from repro.lift.lifter import Lifter
 from repro.lower.pipeline import lower_module
+from repro.provenance import ProvenanceMap
 
 
 @dataclass
@@ -32,17 +34,28 @@ class HybridResult:
     ir_histogram_before: Counter = field(default_factory=Counter)
     ir_histogram_after: Counter = field(default_factory=Counter)
     final_reports: dict[str, CampaignReport] = field(default_factory=dict)
+    provenance: ProvenanceMap = field(default_factory=lambda:
+                                      ProvenanceMap(path="lower"))
 
     @property
     def overhead_percent(self) -> float:
-        """Total code-size overhead vs the original binary (Table V)."""
+        """Total code-size overhead vs the original binary (Table V).
+
+        A degenerate empty-``.text`` input has nothing to compare
+        against; rollups report 0.0 instead of dividing by zero.
+        """
+        if self.original_text_size == 0:
+            return 0.0
         return 100.0 * (self.hardened_text_size -
                         self.original_text_size) / self.original_text_size
 
     @property
     def translation_overhead_percent(self) -> float:
         """Overhead from lift+lower alone ("the mere act of lifting...
-        adds extra overhead", Section IV-D)."""
+        adds extra overhead", Section IV-D).  Guarded like
+        :attr:`overhead_percent` for empty-``.text`` inputs."""
+        if self.original_text_size == 0:
+            return 0.0
         return 100.0 * (self.unhardened_lowered_size -
                         self.original_text_size) / self.original_text_size
 
@@ -59,6 +72,7 @@ class HybridResult:
             "validation_blocks": self.hardening.validation_blocks,
             "ir_delta": dict(self.ir_histogram_after
                              - self.ir_histogram_before),
+            "provenance": self.provenance.to_dict(),
             "final_reports": {
                 model: report.to_dict()
                 for model, report in self.final_reports.items()
@@ -117,8 +131,11 @@ def hybrid_harden(exe: Executable,
         dce(function)
         verify(ir_module)
 
-    hardened = lower_module(ir_module, exe, trap_after_jmp=True)
+    hardened, provenance = lower_module(ir_module, exe,
+                                        trap_after_jmp=True,
+                                        with_provenance=True)
     _validate(hardened, exe, good_input, bad_input, grant_marker, name)
+    _warn_unguarded_blocks(branch_filter)
 
     result = HybridResult(
         hardened=hardened,
@@ -129,6 +146,7 @@ def hybrid_harden(exe: Executable,
         hardening=stats,
         ir_histogram_before=histogram_before,
         ir_histogram_after=histogram_after,
+        provenance=provenance,
     )
     if models:
         faulter = Faulter(hardened, good_input, bad_input, grant_marker,
@@ -136,6 +154,33 @@ def hybrid_harden(exe: Executable,
         result.final_reports = {
             m: faulter.run_campaign(m) for m in models}
     return result
+
+
+class GuidedBranchFilter:
+    """Branch filter restricting hardening to faulter-flagged blocks.
+
+    Matches on the lifter's ``guest_address`` block metadata — *not* on
+    block names: lifters are free to name blocks however they like, and
+    the historical ``g<hex>_...`` name parsing silently disabled all
+    hardening when the naming scheme changed.  ``matched``/
+    :meth:`unmatched` expose which vulnerable guest blocks the pass
+    actually saw, so callers can warn about unguarded ones.
+    """
+
+    def __init__(self, vulnerable_blocks):
+        self.vulnerable_blocks = frozenset(vulnerable_blocks)
+        self.matched: set[int] = set()
+
+    def __call__(self, block, terminator) -> bool:
+        address = getattr(block, "guest_address", None)
+        if address is None or address not in self.vulnerable_blocks:
+            return False
+        self.matched.add(address)
+        return True
+
+    def unmatched(self) -> frozenset:
+        """Vulnerable guest blocks the hardening pass never reached."""
+        return self.vulnerable_blocks - self.matched
 
 
 def faulter_guided_filter(exe: Executable, good_input: bytes,
@@ -147,6 +192,8 @@ def faulter_guided_filter(exe: Executable, good_input: bytes,
     insertion for the Hybrid methodology; this helper runs the faulter
     on the original binary and returns a ``branch_filter`` that hardens
     only branches in guest blocks containing a vulnerable point.
+    Vulnerable points that cannot be attributed to a guest block are
+    reported via :mod:`warnings` instead of being silently dropped.
     """
     from repro.disasm.recover import disassemble
 
@@ -156,20 +203,32 @@ def faulter_guided_filter(exe: Executable, good_input: bytes,
     for model in models:
         report = faulter.run_campaign(model)
         for point in report.vulnerable_points():
-            _, block, _ = module.find_instruction(point.address)
+            try:
+                _, block, _ = module.find_instruction(point.address)
+            except RewriteError:
+                warnings.warn(
+                    f"vulnerable point {point.address:#x} ({model}) "
+                    f"maps to no guest block; it will not guide "
+                    f"hardening", stacklevel=2)
+                continue
             vulnerable_blocks.add(block.address)
 
-    def branch_filter(block, terminator) -> bool:
-        name = block.name
-        if not name.startswith("g"):
-            return False
-        try:
-            address = int(name.split("_")[0][1:], 16)
-        except ValueError:
-            return False
-        return address in vulnerable_blocks
+    return GuidedBranchFilter(vulnerable_blocks)
 
-    return branch_filter
+
+def _warn_unguarded_blocks(branch_filter) -> None:
+    """Surface guided-filter blocks the hardening pass never saw."""
+    unmatched = getattr(branch_filter, "unmatched", None)
+    if not callable(unmatched):
+        return
+    missing = unmatched()
+    if missing:
+        rendered = ", ".join(f"{address:#x}"
+                             for address in sorted(missing))
+        warnings.warn(
+            f"faulter-flagged guest block(s) {rendered} were not "
+            f"reached by branch hardening (no conditional branch, or "
+            f"block not lifted)", stacklevel=2)
 
 
 def _validate(hardened, original, good_input, bad_input, marker, name):

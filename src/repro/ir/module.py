@@ -18,6 +18,26 @@ class BasicBlock(Value):
         super().__init__("label", name)
         self.parent: Optional[Function] = None
         self.instructions: list[Instruction] = []
+        # guest provenance metadata (set by the lifter, propagated by
+        # transforms): the original address/extent this block lifts,
+        # and whether the block is countermeasure code *derived* from
+        # that guest block rather than a translation of it
+        self.guest_address: Optional[int] = None
+        self.guest_size: int = 0
+        self.guest_derived: bool = False
+
+    def set_guest_origin(self, address: Optional[int], size: int = 0,
+                         derived: bool = False) -> None:
+        """Attach (or propagate) guest provenance metadata."""
+        self.guest_address = address
+        self.guest_size = size
+        self.guest_derived = derived
+
+    def copy_guest_origin(self, other: "BasicBlock",
+                          derived: bool = True) -> None:
+        """Inherit another block's guest origin (for inserted blocks)."""
+        self.set_guest_origin(other.guest_address, other.guest_size,
+                              derived=derived or other.guest_derived)
 
     # -- structure -----------------------------------------------------------
 

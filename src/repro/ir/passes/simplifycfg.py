@@ -73,6 +73,15 @@ def _merge_straight_lines(function: Function) -> bool:
                     phi.replace_all_uses_with(value)
                     phi.erase()
             terminator.erase()
+            # merging adjacent guest blocks extends the survivor's
+            # guest extent, keeping block-level provenance contiguous
+            if block.guest_address is not None and \
+                    successor.guest_address is not None and \
+                    not (block.guest_derived or
+                         successor.guest_derived) and \
+                    block.guest_address + block.guest_size == \
+                    successor.guest_address:
+                block.guest_size += successor.guest_size
             for instruction in list(successor.instructions):
                 successor.instructions.remove(instruction)
                 block.append(instruction)

@@ -65,6 +65,11 @@ class Lifter:
             suffix = f"_i{len(ctx)}" if ctx else ""
             block = self.fn.add_block(f"g{address:x}{suffix}_"
                                       f"{len(self._ir_blocks)}")
+            guest = self.blocks_by_addr.get(address)
+            block.set_guest_origin(
+                address,
+                size=sum(e.insn.length for e in guest.entries)
+                if guest is not None else 0)
             self._ir_blocks[key] = block
             self._worklist.append(key)
         return block

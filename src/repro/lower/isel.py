@@ -43,6 +43,7 @@ def split_critical_edges(function: Function) -> int:
                 continue
             middle = function.add_block(
                 function.fresh_name("crit"), after=block)
+            middle.copy_guest_origin(block)
             middle.append(Br(successor))
             terminator.replace_successor(successor, middle)
             for phi in successor.phis():
@@ -102,7 +103,11 @@ class ISel:
         for block in self.fn.blocks:
             name = f"L{block.name}"
             self.block_names[id(block)] = name
-            self.mfn.blocks.append(MBlock(name))
+            self.mfn.blocks.append(MBlock(
+                name,
+                guest_address=block.guest_address,
+                guest_size=block.guest_size,
+                guest_derived=block.guest_derived))
         for block in self.fn.blocks:
             self._select_block(block)
         return self.mfn

@@ -118,6 +118,12 @@ class MInsn:
 class MBlock:
     name: str
     insns: list[MInsn] = field(default_factory=list)
+    # guest provenance carried down from the IR block (see
+    # repro.ir.module.BasicBlock): original address/extent + whether
+    # the block is derived countermeasure code
+    guest_address: Optional[int] = None
+    guest_size: int = 0
+    guest_derived: bool = False
 
     def append(self, insn: MInsn) -> MInsn:
         self.insns.append(insn)

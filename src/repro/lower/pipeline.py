@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Callable, Optional
 
 from repro.asm.assembler import assemble
@@ -11,22 +12,28 @@ from repro.ir.verifier import verify
 from repro.lift.lifter import Lifter
 from repro.lower.emit import Emitter
 from repro.lower.isel import ISel, split_critical_edges
+from repro.lower.mir import MFunction
 from repro.lower.peephole import optimize_mir, remove_self_moves
 from repro.lower.regalloc import allocate, rewrite_spills
+from repro.provenance import KIND_BLOCK, KIND_DERIVED, ProvenanceMap
 
 LOWERED_TEXT_BASE = 0x480000
 
 
 def lower_module(ir_module: IRModule, original: Executable,
                  text_base: int = LOWERED_TEXT_BASE,
-                 trap_after_jmp: bool = False) -> Executable:
+                 trap_after_jmp: bool = False,
+                 with_provenance: bool = False):
     """Lower a (lifted, possibly hardened) IR module to an executable.
 
     The guest's data sections are pinned at their original addresses;
     the regenerated code is placed at ``text_base`` above them.
     ``trap_after_jmp`` plants ``ud2`` behind unconditional jumps so a
     glitched (skipped) jump cannot slide into the next block — used by
-    the hardened lowering.
+    the hardened lowering.  ``with_provenance=True`` additionally
+    returns the block-granular
+    :class:`~repro.provenance.ProvenanceMap` derived from the
+    guest-block labels of the regenerated code.
     """
     function = ir_module.function("entry")
     verify(function)
@@ -40,7 +47,49 @@ def lower_module(ir_module: IRModule, original: Executable,
     emitter = Emitter(mfn, allocation.frame_slots, original,
                       text_base=text_base, trap_after_jmp=trap_after_jmp)
     program = emitter.emit()
-    return assemble(program)
+    exe = assemble(program)
+    if not with_provenance:
+        return exe
+    return exe, lowering_provenance(mfn, exe)
+
+
+def lowering_provenance(mfn: MFunction, exe: Executable) -> ProvenanceMap:
+    """Map guest blocks onto the regenerated code's label layout.
+
+    Every MIR block carrying guest metadata became a ``.text`` label in
+    ``exe``; its rewritten extent runs to the next label (or the end of
+    ``.text``).  Blocks the lifter translated map as ``block`` entries;
+    inserted countermeasure blocks (validation chains, split edges)
+    map as ``derived``.
+    """
+    text = exe.section(".text")
+    text_end = text.addr + len(text.data)
+    label_addr = {symbol.name: symbol.value
+                  for symbol in exe.symbols
+                  if symbol.section == ".text"}
+    starts = sorted(set(label_addr.values()))
+
+    def _span(address: int) -> int:
+        """End of the block starting at ``address``: the next label
+        strictly above it, or the end of ``.text``."""
+        index = bisect_right(starts, address)
+        return starts[index] if index < len(starts) else text_end
+
+    provenance = ProvenanceMap(path="lower")
+    for block in mfn.blocks:
+        if block.guest_address is None:
+            continue
+        start = label_addr.get(block.name)
+        if start is None:
+            continue  # label elided (empty block)
+        end = _span(start)
+        if end <= start:
+            continue  # empty span: nothing executable to attribute
+        original_end = block.guest_address + max(block.guest_size, 1)
+        provenance.add_range(
+            block.guest_address, original_end, start, end,
+            kind=KIND_DERIVED if block.guest_derived else KIND_BLOCK)
+    return provenance
 
 
 def lower_executable(exe: Executable,

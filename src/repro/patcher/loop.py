@@ -10,7 +10,7 @@ hit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Sequence
 
 from repro.asm.assembler import assemble_with_map
 from repro.binfmt.image import Executable
@@ -20,6 +20,25 @@ from repro.faulter.campaign import Faulter
 from repro.faulter.report import CampaignReport
 from repro.gtirb.ir import Module
 from repro.patcher.patcher import Patcher
+from repro.provenance import KIND_DERIVED, KIND_INSN, ProvenanceMap
+
+
+def provenance_from_tag_map(tag_map: dict) -> ProvenanceMap:
+    """Build the original->rewritten map from the assembler's tag map.
+
+    Every ``InsnEntry`` that survived the rewrite carries its original
+    decoded address; pattern-emitted entries attribute to the original
+    site they protect via ``root_site()``.  Entries with no original
+    counterpart (the injected fault handler) carry no mapping.
+    """
+    provenance = ProvenanceMap(path="patcher")
+    for entry, address in tag_map.items():
+        original = entry.root_site().address
+        if original is None:
+            continue
+        kind = KIND_INSN if entry.origin is None else KIND_DERIVED
+        provenance.add(original, address, kind=kind)
+    return provenance
 
 
 @dataclass
@@ -53,6 +72,8 @@ class HardenResult:
     original_sites: int = 0
     remaining_sites: int = 0
     emergent_points: int = 0
+    provenance: ProvenanceMap = field(default_factory=lambda:
+                                      ProvenanceMap(path="patcher"))
 
     @property
     def overhead_percent(self) -> float:
@@ -86,6 +107,7 @@ class HardenResult:
             "original_sites": self.original_sites,
             "remaining_sites": self.remaining_sites,
             "emergent_points": self.emergent_points,
+            "provenance": self.provenance.to_dict(),
             "iterations": [
                 {
                     "iteration": s.iteration,
@@ -216,6 +238,7 @@ class FaulterPatcherLoop:
             original_sites=len(original_sites),
             remaining_sites=len(remaining_sites),
             emergent_points=emergent,
+            provenance=provenance_from_tag_map(tag_map),
         )
 
     def _emit(self, module: Module):

@@ -1,0 +1,224 @@
+"""Original->rewritten address correspondence across rewriting paths.
+
+Every rewriting path in the repo emits a :class:`ProvenanceMap` so a
+fault campaign against the *rewritten* binary can be joined against a
+campaign on the *original* binary (the paper's Tables III-V are exactly
+such before/after comparisons):
+
+* ``patcher.loop`` — instruction-exact: each surviving ``InsnEntry``
+  keeps its originally decoded address, and pattern-emitted entries
+  link back through ``origin``/``root_site()``; the assembler's tag map
+  supplies the final addresses.
+* ``detour.rewriter`` — identity over the (address-stable) ``.text``
+  plus exact entries for every instruction displaced into the
+  trampoline.
+* ``lower.pipeline`` — block-granular: lifted IR blocks carry their
+  guest address/extent as metadata, which the lowering pipeline maps to
+  the final label layout of the regenerated code.
+
+Three entry kinds keep the semantics apart:
+
+* ``insn``    — the original instruction itself, relocated,
+* ``derived`` — countermeasure code protecting an original site
+  (pattern copies, trampoline instrumentation, validation blocks),
+* ``block``   — a whole guest block mapped to a rewritten range.
+
+The map answers two questions the differential report needs:
+``to_original(rewritten_address)`` (attribute a post-hardening fault
+back to a pre-rewrite address) and ``normalize_original(address)``
+(the canonical join key for an original address — itself for exact
+paths, the containing block head for block-granular paths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+KIND_INSN = "insn"
+KIND_DERIVED = "derived"
+KIND_BLOCK = "block"
+
+_KINDS = (KIND_INSN, KIND_DERIVED, KIND_BLOCK)
+
+
+@dataclass(frozen=True)
+class ProvenanceEntry:
+    """One original->rewritten correspondence.
+
+    Point entries (``insn``/``derived``) leave the ``*_end`` fields at
+    zero; range entries (``block``-granular, including derived blocks)
+    carry exclusive end addresses on both sides.
+    """
+
+    original: int
+    rewritten: int
+    kind: str = KIND_INSN
+    original_end: int = 0
+    rewritten_end: int = 0
+
+    @property
+    def is_range(self) -> bool:
+        return self.rewritten_end > 0
+
+    def covers_original(self, address: int) -> bool:
+        if self.is_range:
+            return self.original <= address < self.original_end
+        return address == self.original
+
+    def covers_rewritten(self, address: int) -> bool:
+        if self.is_range:
+            return self.rewritten <= address < self.rewritten_end
+        return address == self.rewritten
+
+    def to_dict(self) -> dict:
+        payload = {
+            "original": self.original,
+            "rewritten": self.rewritten,
+            "kind": self.kind,
+        }
+        if self.is_range:
+            payload["original_end"] = self.original_end
+            payload["rewritten_end"] = self.rewritten_end
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProvenanceEntry":
+        return cls(
+            original=payload["original"],
+            rewritten=payload["rewritten"],
+            kind=payload.get("kind", KIND_INSN),
+            original_end=payload.get("original_end", 0),
+            rewritten_end=payload.get("rewritten_end", 0),
+        )
+
+
+@dataclass
+class ProvenanceMap:
+    """Address correspondence between a binary and its rewritten form.
+
+    ``path`` names the rewriting path that produced the map
+    (``"patcher"``/``"detour"``/``"lower"``).  ``identity`` regions are
+    half-open ``[start, end)`` ranges where addresses did not move at
+    all (the detour rewriter's untouched ``.text``).
+    """
+
+    path: str = ""
+    entries: list[ProvenanceEntry] = field(default_factory=list)
+    identity: list[tuple[int, int]] = field(default_factory=list)
+    meta: dict = field(default_factory=dict, compare=False)
+
+    # -- construction ------------------------------------------------------
+
+    def add(self, original: int, rewritten: int,
+            kind: str = KIND_INSN) -> None:
+        """Record a point mapping (one instruction)."""
+        if kind not in _KINDS:
+            raise ValueError(f"unknown provenance kind {kind!r}")
+        self.entries.append(ProvenanceEntry(original, rewritten, kind))
+
+    def add_range(self, original: int, original_end: int,
+                  rewritten: int, rewritten_end: int,
+                  kind: str = KIND_BLOCK) -> None:
+        """Record a range mapping (one guest block)."""
+        if kind not in _KINDS:
+            raise ValueError(f"unknown provenance kind {kind!r}")
+        if original_end <= original or rewritten_end <= rewritten:
+            raise ValueError("provenance range must be non-empty")
+        self.entries.append(ProvenanceEntry(
+            original, rewritten, kind, original_end, rewritten_end))
+
+    def add_identity(self, start: int, end: int) -> None:
+        """Record a region whose addresses are unchanged."""
+        if end <= start:
+            raise ValueError("identity region must be non-empty")
+        self.identity.append((start, end))
+
+    # -- queries -----------------------------------------------------------
+
+    def _in_identity(self, address: int) -> bool:
+        return any(start <= address < end
+                   for start, end in self.identity)
+
+    def to_original(self, rewritten: int) -> Optional[int]:
+        """Canonical original address for a rewritten address.
+
+        Exact (point) matches win over identity regions, which win over
+        block ranges; a range match resolves to the block head.  Returns
+        ``None`` when the address has no pre-rewrite counterpart
+        (freshly injected code such as fault handlers).
+        """
+        best_range: Optional[ProvenanceEntry] = None
+        for entry in self.entries:
+            if not entry.covers_rewritten(rewritten):
+                continue
+            if not entry.is_range:
+                return entry.original
+            if best_range is None or entry.rewritten > best_range.rewritten:
+                best_range = entry  # narrower/nearer block head wins
+        if self._in_identity(rewritten):
+            return rewritten
+        if best_range is not None:
+            return best_range.original
+        return None
+
+    def normalize_original(self, address: int) -> Optional[int]:
+        """Canonical join key for an *original* address.
+
+        Exact paths key each instruction on its own address; block
+        paths key every address in a guest block on the block head.
+        ``None`` means the rewrite carries no mapping for the address
+        (the differential report's ``unmapped`` class).
+        """
+        best_range: Optional[ProvenanceEntry] = None
+        for entry in self.entries:
+            if not entry.covers_original(address):
+                continue
+            if not entry.is_range:
+                return address
+            if best_range is None or entry.original > best_range.original:
+                best_range = entry
+        if self._in_identity(address):
+            return address
+        if best_range is not None:
+            return best_range.original
+        return None
+
+    def to_rewritten(self, original: int) -> list[int]:
+        """All rewritten addresses an original address maps to."""
+        targets = []
+        for entry in self.entries:
+            if entry.covers_original(original):
+                targets.append(entry.rewritten)
+        if self._in_identity(original):
+            targets.append(original)
+        return sorted(set(targets))
+
+    def counts(self) -> dict[str, int]:
+        """Entry census by kind (plus identity region count)."""
+        census = {kind: 0 for kind in _KINDS}
+        for entry in self.entries:
+            census[entry.kind] += 1
+        census["identity_regions"] = len(self.identity)
+        return census
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "entries": [entry.to_dict() for entry in self.entries],
+            "identity": [[start, end] for start, end in self.identity],
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ProvenanceMap":
+        return cls(
+            path=payload.get("path", ""),
+            entries=[ProvenanceEntry.from_dict(e)
+                     for e in payload.get("entries", [])],
+            identity=[(start, end)
+                      for start, end in payload.get("identity", [])],
+            meta=dict(payload.get("meta", {})),
+        )

@@ -1,8 +1,16 @@
-"""Small guest programs used by unit and property tests."""
+"""Small guest programs used by unit and property tests.
+
+Besides the bare corpus programs (no campaign oracle), the module
+bundles one campaign-able workload — :func:`workload`, a two-byte
+token gate — so evaluation tests and ``r2r compare`` can exercise the
+differential loop on a third, minimal target next to pincheck and the
+bootloader.
+"""
 
 from __future__ import annotations
 
 from repro.asm import assemble
+from repro.workloads.base import Workload
 
 EXIT42 = """
 .text
@@ -255,3 +263,72 @@ ALL = {
 def build(name: str):
     """Assemble one of the corpus programs by name."""
     return assemble(ALL[name])
+
+
+# ---------------------------------------------------------------------------
+# campaign-able corpus workload (token gate)
+# ---------------------------------------------------------------------------
+
+GATE_MARKER = b"UNLOCKED"
+
+GATECHECK = f"""
+# gatecheck: two-byte token guards the privileged UNLOCKED path
+.equ TOK_LEN, 2
+.equ OPEN_LEN, {len(GATE_MARKER) + 1}
+.equ LOCK_LEN, 7
+
+.section .text
+.global _start
+_start:
+    xor rax, rax              # SYS_read the candidate token
+    xor rdi, rdi
+    lea rsi, [rel tok_buf]
+    mov rdx, TOK_LEN
+    syscall
+    cmp rax, TOK_LEN          # short read -> locked
+    jne lock
+    lea rsi, [rel tok_buf]
+    mov al, byte ptr [rsi]
+    cmp al, 'G'
+    jne lock
+    mov al, byte ptr [rsi+1]
+    cmp al, 'O'
+    jne lock
+    mov rax, 1                # SYS_write the grant marker
+    mov rdi, 1
+    lea rsi, [rel msg_open]
+    mov rdx, OPEN_LEN
+    syscall
+    mov rax, 60
+    xor rdi, rdi
+    syscall
+lock:
+    mov rax, 1
+    mov rdi, 1
+    lea rsi, [rel msg_lock]
+    mov rdx, LOCK_LEN
+    syscall
+    mov rax, 60
+    mov rdi, 1
+    syscall
+
+.section .data
+msg_open: .asciz "{GATE_MARKER.decode()}\\n"
+msg_lock: .asciz "LOCKED\\n"
+
+.section .bss
+tok_buf: .zero 8
+"""
+
+
+def workload() -> Workload:
+    """The token-gate workload with good/bad campaign inputs."""
+    return Workload(
+        name="gatecheck",
+        source=GATECHECK,
+        good_input=b"GO",
+        bad_input=b"NO",
+        grant_marker=GATE_MARKER,
+        description="two-byte token compare guarding a privileged "
+                    "path",
+    )

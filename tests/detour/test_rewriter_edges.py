@@ -1,0 +1,217 @@
+"""Detour rewriter edge cases: decode resync, window boundaries,
+RIP-relative re-encoding, repeated instrumentation, provenance."""
+
+from repro.asm import assemble
+from repro.detour import DetourRewriter
+from repro.emu import run_executable
+from repro.isa.decoder import decode
+from repro.provenance import KIND_DERIVED, KIND_INSN
+
+# a data blob in .text whose bytes fail to decode at the blob start
+# but, when (wrongly) resumed one byte in, decode as `jmp rel32`
+# targeting the middle of the instruction at `entry` — the phantom
+# branch target that used to refuse the detour below
+DATA_BLOB_SOURCE = """
+.text
+.global _start
+_start:
+    jmp entry
+blob:
+    .byte 0x06, 0xE9, 0x02, 0x00, 0x00, 0x00
+entry:
+    mov rax, 60
+    mov rdi, 7
+    syscall
+"""
+
+
+class TestDecodeResync:
+    def test_data_blob_does_not_mint_phantom_targets(self):
+        exe = assemble(DATA_BLOB_SOURCE)
+        entry = exe.symbol("entry").value
+        rewriter = DetourRewriter(exe)
+        # the phantom jmp would target entry+2, inside the window of
+        # the 7-byte `mov rax, 60`; lockstep decoding resynchronizes
+        # at the `entry` symbol boundary instead
+        assert entry + 2 not in rewriter._branch_targets
+        assert rewriter.instrument(entry, lambda displaced: [])
+        assert run_executable(rewriter.finish()).exit_code == 7
+
+    def test_real_targets_still_collected_after_blob(self):
+        exe = assemble(DATA_BLOB_SOURCE)
+        rewriter = DetourRewriter(exe)
+        # the jump over the blob is a real branch target
+        assert exe.symbol("entry").value in rewriter._branch_targets
+
+    def test_undecodable_tail_without_boundary_terminates(self):
+        source = """
+        .text
+        .global _start
+        _start:
+            mov rax, 60
+            mov rdi, 3
+            syscall
+            .byte 0x06, 0x06, 0x06
+        """
+        exe = assemble(source)
+        rewriter = DetourRewriter(exe)  # must not raise or loop
+        assert rewriter.instrument(exe.entry, lambda displaced: [])
+        assert run_executable(rewriter.finish()).exit_code == 3
+
+    STRIPPED_SOURCE = """
+    .text
+    .global _start
+    _start:
+        jmp entry
+    blob:
+        .byte 0x06
+    entry:
+        mov bl, 5
+    loop_top:
+        cmp bl, 5
+        jne loop_top
+        movzx rdi, bl
+        mov rax, 60
+        syscall
+    """
+
+    def test_stripped_binary_keeps_real_targets_after_blob(self):
+        """Without symbol boundaries the walk must fall back to the
+        conservative slide — dropping real branch targets located
+        behind a blob would let an unsafe detour through."""
+        with_symbols = assemble(self.STRIPPED_SOURCE)
+        exe = with_symbols.stripped()
+        rewriter = DetourRewriter(exe)
+        # `jne loop_top` sits *after* the undecodable blob; with no
+        # boundary to resync at, only the byte-wise slide reaches it
+        loop_top = with_symbols.symbol("loop_top").value
+        assert loop_top in rewriter._branch_targets
+        # and the overlap check therefore still refuses a window
+        # swallowing that target
+        entry = with_symbols.symbol("entry").value
+        assert not rewriter.instrument(entry, lambda displaced: [])
+
+
+class TestWindowBoundary:
+    SOURCE = """
+    .text
+    .global _start
+    _start:
+        mov rbx, 7
+    after:
+        cmp rbx, 0
+        je after
+        mov rdi, rbx
+        mov rax, 60
+        syscall
+    """
+
+    def test_branch_target_exactly_at_window_end_is_legal(self):
+        exe = assemble(self.SOURCE)
+        rewriter = DetourRewriter(exe)
+        after = exe.symbol("after").value
+        # window [_start, after): 7-byte mov; `je after` lands exactly
+        # on the resume point, which the patch preserves
+        assert after == exe.entry + 7
+        assert rewriter.instrument(exe.entry, lambda displaced: [])
+        assert run_executable(rewriter.finish()).exit_code == 7
+
+    def test_branch_target_strictly_inside_window_refused(self):
+        exe = assemble(self.SOURCE)
+        rewriter = DetourRewriter(exe)
+        after = exe.symbol("after").value
+        # `after` would sit strictly inside the window of the cmp+je
+        # pair (cmp is 4 bytes: the window must extend into je)
+        assert not rewriter.instrument(after, lambda displaced: [])
+        assert rewriter.stats.refused == 1
+
+
+RIP_SOURCE = """
+.text
+.global _start
+_start:
+    mov rdi, qword ptr [rel value]
+    mov rax, 60
+    syscall
+.data
+value: .quad 23
+"""
+
+
+class TestRipRelativeReencode:
+    def test_duplicated_rip_relative_load(self):
+        """Both trampoline copies re-encode at distinct addresses and
+        must still reference the same absolute target."""
+        exe = assemble(RIP_SOURCE)
+        rewriter = DetourRewriter(exe)
+        assert rewriter.instrument(exe.entry,
+                                   lambda displaced: [displaced[0]])
+        patched = rewriter.finish()
+        assert run_executable(patched).exit_code == 23
+
+        value = exe.symbol("value").value
+        detour = patched.section(".detour")
+        offset = 0
+        targets = []
+        for _ in range(2):  # duplicate + displaced original
+            insn = decode(detour.data, offset, detour.addr + offset)
+            mem = insn.operands[1]
+            assert mem.is_rip_relative
+            targets.append(insn.address + insn.length + mem.disp)
+            offset += insn.length
+        assert targets == [value, value]
+
+    def test_reencode_at_rebases_displacement(self):
+        exe = assemble(RIP_SOURCE)
+        rewriter = DetourRewriter(exe)
+        insn = decode(exe.section(".text").data, 0, exe.entry)
+        code = rewriter._reencode_at(insn, 0x500000)
+        rebased = decode(code, 0, 0x500000)
+        target = rebased.address + rebased.length \
+            + rebased.operands[1].disp
+        assert target == exe.symbol("value").value
+
+
+class TestRepeatedInstrument:
+    def test_double_instrument_of_patched_range_refused(self):
+        exe = assemble(RIP_SOURCE)
+        rewriter = DetourRewriter(exe)
+        assert rewriter.instrument(exe.entry, lambda displaced: [])
+        # anywhere inside the already-patched window is refused, not
+        # just its first byte
+        for offset in range(1, 5):
+            assert not rewriter.instrument(exe.entry + offset,
+                                           lambda displaced: [])
+        assert rewriter.stats.refused == 4
+        assert rewriter.stats.patched == 1
+        assert run_executable(rewriter.finish()).exit_code == 23
+
+
+class TestDetourProvenance:
+    def test_displaced_and_derived_mappings(self):
+        exe = assemble(RIP_SOURCE)
+        rewriter = DetourRewriter(exe)
+        rewriter.instrument(exe.entry, lambda displaced: [displaced[0]])
+        provenance = rewriter.provenance
+        duplicate, original = [
+            entry for entry in provenance.entries
+            if entry.original == exe.entry]
+        assert duplicate.kind == KIND_DERIVED
+        assert original.kind == KIND_INSN
+        assert duplicate.rewritten == rewriter.trampoline_base
+        assert provenance.to_original(original.rewritten) == exe.entry
+
+    def test_untouched_text_maps_identically(self):
+        exe = assemble(RIP_SOURCE)
+        rewriter = DetourRewriter(exe)
+        rewriter.instrument(exe.entry, lambda displaced: [])
+        untouched = exe.entry + 8  # the `mov rax, 60` after the window
+        assert rewriter.provenance.to_original(untouched) == untouched
+
+    def test_trampoline_jump_back_is_unmapped(self):
+        exe = assemble(RIP_SOURCE)
+        rewriter = DetourRewriter(exe)
+        rewriter.instrument(exe.entry, lambda displaced: [])
+        jump_back = rewriter.trampoline_base \
+            + len(rewriter.trampoline) - 5
+        assert rewriter.provenance.to_original(jump_back) is None

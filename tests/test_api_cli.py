@@ -3,7 +3,8 @@
 import pytest
 
 from repro.api import (
-    APPROACHES, find_vulnerabilities, harden_binary, hardened_elf)
+    APPROACHES, evaluate_countermeasures, find_vulnerabilities,
+    harden_binary, hardened_elf)
 from repro.binfmt import read_elf, write_elf
 from repro.cli import main
 from repro.emu import run_executable
@@ -51,6 +52,25 @@ class TestAPI:
             harden_binary(wl.build(), wl.good_input, wl.bad_input,
                           wl.grant_marker, approach="magic")
         assert "hybrid" in APPROACHES
+        assert "detour" in APPROACHES
+
+    def test_harden_detour(self, wl):
+        result = harden_binary(
+            wl.build(), wl.good_input, wl.bad_input, wl.grant_marker,
+            approach="detour")
+        assert result.stats.patched > 0
+        rebuilt = read_elf(hardened_elf(result))
+        good = run_executable(rebuilt, stdin=wl.good_input)
+        assert wl.grant_marker in good.stdout
+
+    def test_evaluate_countermeasures(self, wl):
+        evaluation = evaluate_countermeasures(
+            wl.build(), wl.good_input, wl.bad_input, wl.grant_marker,
+            models=("skip",))
+        census = evaluation.diff.counts(model="skip")
+        assert census["eliminated"] >= 1
+        assert census["surviving"] == 0
+        assert "eliminated" in evaluation.report()
 
 
 class TestCLI:
@@ -105,3 +125,61 @@ class TestCLI:
         code = main(["run", str(target), "--stdin", "31323334"])
         assert code == 0
         assert "GRANTED" in capsys.readouterr().out
+
+
+class TestCompareCLI:
+    def test_compare_bundled_pincheck(self, capsys):
+        """The acceptance scenario: skip model, faulter+patcher."""
+        code = main(["compare", "pincheck"])
+        out = capsys.readouterr().out
+        assert code == 0  # nothing survives, nothing introduced
+        assert "differential evaluation" in out
+        assert "eliminated=" in out and "unmapped=" in out
+
+    def test_compare_file_target(self, capsys, tmp_path, wl):
+        from repro.binfmt import write_elf
+
+        target = tmp_path / "t.elf"
+        target.write_bytes(write_elf(wl.build()))
+        code = main(["compare", str(target),
+                     "--good", "text:1234", "--bad", "text:6789",
+                     "--marker", "ACCESS GRANTED"])
+        assert code == 0
+        assert "eliminated" in capsys.readouterr().out
+
+    def test_compare_file_target_requires_inputs(self, tmp_path, wl):
+        from repro.binfmt import write_elf
+
+        target = tmp_path / "t.elf"
+        target.write_bytes(write_elf(wl.build()))
+        with pytest.raises(SystemExit, match="--good"):
+            main(["compare", str(target)])
+
+    def test_compare_broken_oracle_exits_2(self, capsys, tmp_path,
+                                           wl):
+        from repro.binfmt import write_elf
+
+        target = tmp_path / "t.elf"
+        target.write_bytes(write_elf(wl.build()))
+        code = main(["compare", str(target),
+                     "--good", "text:9999", "--bad", "text:6789",
+                     "--marker", "ACCESS GRANTED"])
+        assert code == 2  # ReproError -> clean error, not a traceback
+        assert "error" in capsys.readouterr().err
+
+    def test_harden_evaluate_flag(self, capsys, tmp_path, wl):
+        from repro.binfmt import write_elf
+
+        target = tmp_path / "t.elf"
+        output = tmp_path / "out.elf"
+        target.write_bytes(write_elf(wl.build()))
+        code = main(["harden", str(target), "-o", str(output),
+                     "--evaluate",
+                     "--good", "text:1234", "--bad", "text:6789",
+                     "--marker", "ACCESS GRANTED"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "differential evaluation" in out
+        assert output.exists()
+        rebuilt = read_elf(output.read_bytes())
+        assert run_executable(rebuilt, stdin=b"1234").exit_code == 0

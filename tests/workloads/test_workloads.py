@@ -84,3 +84,18 @@ class TestCorpus:
             result = run_executable(exe, stdin=b"abcd",
                                     max_steps=5_000)
             assert result.reason in ("exit", "max-steps"), name
+
+    def test_gatecheck_workload_oracle(self):
+        wl = corpus.workload()
+        exe = wl.build()
+        good = run_executable(exe, stdin=wl.good_input)
+        bad = run_executable(exe, stdin=wl.bad_input)
+        assert wl.grant_marker in good.stdout
+        assert good.exit_code == 0
+        assert wl.grant_marker not in bad.stdout
+        assert bad.exit_code == 1
+
+    def test_gatecheck_rejects_short_read(self):
+        wl = corpus.workload()
+        result = run_executable(wl.build(), stdin=b"G")
+        assert wl.grant_marker not in result.stdout
