@@ -5,13 +5,15 @@ rewrites ``BENCH_campaign.json``) and then::
 
     python benchmarks/check_regression.py BASELINE.json FRESH.json
 
-The check fails (exit 1) when any backend's ``faults_per_second``
-drops more than ``--threshold`` (default 25%) below the committed
-baseline, or when any backend *emulates more steps* than the baseline
-— step counts are deterministic for a fixed workload and seed, so an
-increase is an algorithmic regression, not noise.  Fewer steps than
-the baseline is an improvement; the script reminds you to commit the
-regenerated JSON so the trajectory records it.
+The check fails (exit 1) when any backend's — or any fault-model
+row's (the ``models`` section, e.g. ``reg-bitflip``) —
+``faults_per_second`` drops more than ``--threshold`` (default 25%)
+below the committed baseline, or when any row *emulates more steps*
+than the baseline — step counts are deterministic for a fixed
+workload and seed, so an increase is an algorithmic regression, not
+noise.  Fewer steps than the baseline is an improvement; the script
+reminds you to commit the regenerated JSON so the trajectory records
+it.
 """
 
 from __future__ import annotations
@@ -21,17 +23,16 @@ import json
 import sys
 
 
-def compare(baseline: dict, fresh: dict, threshold: float) -> list[str]:
-    """Return a list of human-readable regression messages."""
+def _compare_rows(kind: str, baseline_rows: dict, fresh_rows: dict,
+                  threshold: float) -> list[str]:
+    """Gate one named-row section (``backends`` or ``models``)."""
     failures = []
-    baseline_backends = baseline.get("backends", {})
-    fresh_backends = fresh.get("backends", {})
-    missing = set(baseline_backends) - set(fresh_backends)
+    missing = set(baseline_rows) - set(fresh_rows)
     if missing:
         failures.append(
-            f"backends disappeared from the fresh run: {sorted(missing)}")
-    for name in sorted(set(baseline_backends) & set(fresh_backends)):
-        old, new = baseline_backends[name], fresh_backends[name]
+            f"{kind} disappeared from the fresh run: {sorted(missing)}")
+    for name in sorted(set(baseline_rows) & set(fresh_rows)):
+        old, new = baseline_rows[name], fresh_rows[name]
         old_fps, new_fps = old.get("faults_per_second"), \
             new.get("faults_per_second")
         if old_fps and new_fps is not None:
@@ -53,17 +54,28 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> list[str]:
     return failures
 
 
+def compare(baseline: dict, fresh: dict, threshold: float) -> list[str]:
+    """Return a list of human-readable regression messages."""
+    return (
+        _compare_rows("backends", baseline.get("backends", {}),
+                      fresh.get("backends", {}), threshold)
+        + _compare_rows("models", baseline.get("models", {}),
+                        fresh.get("models", {}), threshold)
+    )
+
+
 def render(baseline: dict, fresh: dict) -> str:
-    lines = [f"{'backend':<16}{'faults/s':>22}{'emulated steps':>26}"]
-    fresh_backends = fresh.get("backends", {})
-    for name, old in baseline.get("backends", {}).items():
-        new = fresh_backends.get(name, {})
-        lines.append(
-            f"{name:<16}"
-            f"{old.get('faults_per_second')!s:>10} ->"
-            f"{new.get('faults_per_second')!s:>10}"
-            f"{old.get('emulated_steps')!s:>14} ->"
-            f"{new.get('emulated_steps')!s:>10}")
+    lines = [f"{'row':<16}{'faults/s':>22}{'emulated steps':>26}"]
+    for section in ("backends", "models"):
+        fresh_rows = fresh.get(section, {})
+        for name, old in baseline.get(section, {}).items():
+            new = fresh_rows.get(name, {})
+            lines.append(
+                f"{name:<16}"
+                f"{old.get('faults_per_second')!s:>10} ->"
+                f"{new.get('faults_per_second')!s:>10}"
+                f"{old.get('emulated_steps')!s:>14} ->"
+                f"{new.get('emulated_steps')!s:>10}")
     return "\n".join(lines)
 
 

@@ -17,9 +17,13 @@ emulated steps vs prefix re-execution; faults/second, step counts,
 peak RSS (``resource.getrusage``, so the streaming engine's memory
 trajectory is visible alongside throughput) and the engine's
 peak-resident-fault-points gauge are recorded in
-``BENCH_campaign.json`` at the repo root.  CI's ``bench`` job diffs a
-fresh run of this file against the committed JSON and fails on >25%
-throughput regression (``benchmarks/check_regression.py``).
+``BENCH_campaign.json`` at the repo root.  A ``models`` section adds a
+state-family row (a sampled ``reg-bitflip`` campaign on the
+checkpointed backend), so the fault-effect protocol's hot path is on
+the same perf trajectory as the classic fetch faults.  CI's ``bench``
+job diffs a fresh run of this file against the committed JSON and
+fails on >25% throughput regression
+(``benchmarks/check_regression.py``).
 """
 
 import json
@@ -43,12 +47,16 @@ TRACE_SIZE = 200     # bootloader payload -> trace >= 1k instructions
 SAMPLES = 384
 SEED = 2024
 CHECKPOINT_INTERVAL = 64
+# state-model row: fewer samples (register faults rarely short-circuit
+# the run, so each faulted replay tends to execute the full suffix)
+STATE_MODEL = "reg-bitflip"
+STATE_SAMPLES = 192
 
 
-def _measure(faulter, backend):
-    space = SampledSpace(samples=SAMPLES, seed=SEED)
+def _measure(faulter, backend, model="skip", samples=SAMPLES):
+    space = SampledSpace(samples=samples, seed=SEED)
     start = time.perf_counter()
-    report = faulter.engine().run("skip", space, backend=backend)
+    report = faulter.engine().run(model, space, backend=backend)
     elapsed = time.perf_counter() - start
     return report, elapsed
 
@@ -105,6 +113,26 @@ def test_engine_throughput(benchmark, record):
              - results["checkpointed"]["emulated_steps"])
     assert saved > 0, results
 
+    # state-family row: the generalized fault-effect path must stay on
+    # the same trajectory as fetch substitution
+    state_report, state_elapsed = _measure(
+        faulter,
+        SequentialBackend(checkpoint_interval=CHECKPOINT_INTERVAL),
+        model=STATE_MODEL, samples=STATE_SAMPLES)
+    models = {
+        STATE_MODEL: {
+            "wall_seconds": round(state_elapsed, 4),
+            "samples": STATE_SAMPLES,
+            "faults": state_report.total_faults,
+            "faults_per_second": round(
+                state_report.total_faults / state_elapsed, 2)
+            if state_elapsed else None,
+            "emulated_steps": state_report.meta["emulated_steps"],
+            "checkpoint_interval":
+                state_report.meta["checkpoint_interval"],
+        }
+    }
+
     payload = {
         "benchmark": "engine-throughput",
         "workload": wl.name,
@@ -113,6 +141,7 @@ def test_engine_throughput(benchmark, record):
         "samples": SAMPLES,
         "seed": SEED,
         "backends": results,
+        "models": models,
         "checkpoint_steps_saved": saved,
         "checkpoint_step_reduction_percent": round(
             100.0 * saved / results["prefix-reexec"]["emulated_steps"],
@@ -129,6 +158,9 @@ def test_engine_throughput(benchmark, record):
         f"  {'backend':<16}{'faults/s':>12}{'emulated steps':>18}",
     ]
     for name, row in results.items():
+        lines.append(f"  {name:<16}{row['faults_per_second']:>12}"
+                     f"{row['emulated_steps']:>18}")
+    for name, row in models.items():
         lines.append(f"  {name:<16}{row['faults_per_second']:>12}"
                      f"{row['emulated_steps']:>18}")
     lines += [

@@ -33,6 +33,7 @@ from repro.binfmt.writer import write_elf
 from repro.detour.rewriter import DetourResult, detour_harden
 from repro.faulter.campaign import Faulter
 from repro.faulter.engine import resolve_backend
+from repro.faulter.models import model_by_name
 from repro.faulter.report import (
     CampaignReport,
     DifferentialReport,
@@ -53,6 +54,23 @@ def _as_executable(image: Union[Executable, bytes]) -> Executable:
     return image
 
 
+def _encoding_family(models: Sequence) -> tuple:
+    """Restrict ``models`` to the encoding family, defaulting to skip.
+
+    The Fig. 2 patch loop's duplication patterns protect against fetch
+    faults; iterating it on a state model would churn expensive
+    campaigns it can never converge.  State models stay
+    evaluation-only (see :func:`evaluate_countermeasures`).
+    """
+    def family(model):
+        if isinstance(model, str):
+            return model_by_name(model).family
+        return model.family
+
+    return tuple(m for m in models if family(m) == "encoding") \
+        or ("skip",)
+
+
 def find_vulnerabilities(image: Union[Executable, bytes],
                          good_input: bytes,
                          bad_input: bytes,
@@ -71,6 +89,10 @@ def find_vulnerabilities(image: Union[Executable, bytes],
                          ) -> dict[str, CampaignReport]:
     """Run fault campaigns against a binary (the faulter alone).
 
+    ``models`` names members of the ``repro.faulter.models`` registry
+    — encoding faults (``skip``/``bitflip``/``stuck0``) and state
+    faults (``reg-bitflip``/``flag-stuck``/``mem-bitflip``/
+    ``branch-invert``) run through the same engine.
     Engine knobs: ``backend`` picks the execution backend
     (``"sequential"``/``"multiprocess"`` or an
     :class:`~repro.faulter.engine.ExecutionBackend` instance),
@@ -118,12 +140,17 @@ def harden_binary(image: Union[Executable, bytes],
     classic alternative).  All three results carry a
     :class:`~repro.provenance.ProvenanceMap` for differential
     evaluation.
+
+    The Fig. 2 loop iterates only on the *encoding-family* members of
+    ``fault_models`` (falling back to ``skip`` when none are given);
+    state models are evaluated against a hardened binary with
+    :func:`find_vulnerabilities` or :func:`evaluate_countermeasures`.
     """
     exe = _as_executable(image)
     if approach == "faulter+patcher":
         loop = FaulterPatcherLoop(
             exe, good_input, bad_input, grant_marker,
-            models=fault_models, name=name, **kwargs)
+            models=_encoding_family(fault_models), name=name, **kwargs)
         return loop.run()
     if approach == "hybrid":
         return hybrid_harden(
@@ -214,14 +241,22 @@ def evaluate_countermeasures(image: Union[Executable, bytes],
     """Run the full differential evaluation loop against one binary.
 
     1. baseline fault campaigns (``models``) against the original,
-    2. harden with ``approach`` (the Fig. 2 loop iterates on
-       ``harden_models``, default ``("skip",)``; the other approaches
-       harden unconditionally),
+    2. harden with ``approach`` (the Fig. 2 loop iterates on the
+       *encoding-family* members of ``harden_models``, default
+       ``("skip",)``; the other approaches harden unconditionally),
     3. re-fault the hardened binary under the same ``models`` and
        engine knobs (streaming engine, any backend),
     4. join both campaigns through the rewrite's provenance map into a
        :class:`~repro.faulter.report.DifferentialReport` classifying
        every point as eliminated/surviving/introduced/unmapped.
+
+    State-family models (``reg-bitflip``, ``flag-stuck``,
+    ``mem-bitflip``, ``branch-invert``) are evaluation-only here: the
+    patcher's duplication patterns are designed against fetch faults,
+    so the loop iterates on the encoding members (falling back to
+    ``skip`` when none are given) while steps 1 and 3 campaign under
+    every requested model — which is exactly how one asks whether a
+    countermeasure survives data faults it was never designed for.
     """
     exe = _as_executable(image)
     resolved = resolve_backend(backend, workers=workers,
@@ -234,8 +269,9 @@ def evaluate_countermeasures(image: Union[Executable, bytes],
 
     if harden_models is None:
         harden_models = ("skip",)
-    # only the Fig. 2 loop *consumes* fault models while hardening; for
-    # the other approaches they would merely duplicate step 3
+    # only the Fig. 2 loop *consumes* fault models while hardening (and
+    # harden_binary restricts it to the encoding family); for the
+    # other approaches they would merely duplicate step 3
     fault_models = (harden_models if approach == "faulter+patcher"
                     else ())
     result = harden_binary(exe, good_input, bad_input, grant_marker,

@@ -36,7 +36,12 @@ from repro.binfmt.reader import read_elf
 from repro.disasm import disassemble, pretty_print
 from repro.emu.machine import run_executable
 from repro.errors import ReproError
+from repro.faulter.models import MODELS
 from repro.workloads import bootloader, corpus, pincheck
+
+# --model choices come from the model registry, so new fault models
+# surface on every subcommand without touching the CLI.
+MODEL_CHOICES = sorted(MODELS)
 
 WORKLOADS = {
     "pincheck": pincheck.workload,
@@ -189,8 +194,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--marker", required=True,
                        help="stdout marker of the privileged behaviour")
         p.add_argument("--model", action="append",
-                       default=None, choices=["skip", "bitflip",
-                                              "stuck0"],
+                       default=None, choices=MODEL_CHOICES,
                        help="fault model(s); default: skip")
 
     fault = sub.add_parser("fault", help="run fault campaigns")
@@ -254,7 +258,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="stdout marker of the privileged "
                               "behaviour")
     compare.add_argument("--model", action="append", default=None,
-                         choices=["skip", "bitflip", "stuck0"],
+                         choices=MODEL_CHOICES,
                          help="fault model(s); default: skip")
     compare.add_argument("--approach", default="faulter+patcher",
                          choices=["faulter+patcher", "hybrid",
@@ -277,7 +281,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--rich", action="store_true",
                       help="use the realistically sized variant")
     demo.add_argument("--model", action="append", default=None,
-                      choices=["skip", "bitflip", "stuck0"])
+                      choices=MODEL_CHOICES)
     demo.add_argument("-o", "--output")
     demo.set_defaults(func=_cmd_demo)
 

@@ -9,7 +9,6 @@ from repro.emu.memory import Memory
 from repro.errors import EmulationError, GuestCrash, InvalidOpcode
 from repro.isa.insn import Instruction, Mnemonic
 from repro.isa.operands import Imm, Mem, Reg
-from repro.isa.registers import RIP
 
 _RSP = 4  # hardware code of rsp
 _MASK64 = (1 << 64) - 1
@@ -236,7 +235,12 @@ def _exec_popfq(cpu: CPU, insn: Instruction):
     cpu.flags.from_rflags(cpu.pop64())
 
 
-def _branch_target(cpu: CPU, insn: Instruction) -> int:
+def branch_target(cpu: CPU, insn: Instruction) -> int:
+    """Resolve a branch/call target against the current CPU state.
+
+    Shared with the fault-effect layer (``BranchInvertEffect`` redirects
+    the PC without executing the branch).
+    """
     (target,) = insn.operands
     if isinstance(target, Imm):
         return (insn.address + insn.length + target.value) & _MASK64
@@ -244,16 +248,16 @@ def _branch_target(cpu: CPU, insn: Instruction) -> int:
 
 
 def _exec_jmp(cpu: CPU, insn: Instruction):
-    cpu.rip = _branch_target(cpu, insn)
+    cpu.rip = branch_target(cpu, insn)
 
 
 def _exec_jcc(cpu: CPU, insn: Instruction):
     if insn.cond.evaluate(cpu.flags):
-        cpu.rip = _branch_target(cpu, insn)
+        cpu.rip = branch_target(cpu, insn)
 
 
 def _exec_call(cpu: CPU, insn: Instruction):
-    target = _branch_target(cpu, insn)
+    target = branch_target(cpu, insn)
     cpu.push64(insn.address + insn.length)
     cpu.rip = target
 

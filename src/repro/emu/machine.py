@@ -1,18 +1,28 @@
-"""Machine: ELF loading, the run loop, tracing and fault interception.
+"""Machine: ELF loading, the run loop, tracing and fault effects.
 
 This is the faulter's execution vehicle.  ``Machine.run`` supports:
 
 * instruction tracing (the list of executed instruction addresses, which
   the faulter enumerates to place faults),
-* a single *fault intercept*: at dynamic step ``fault_step``, the fault
-  model may replace the fetched instruction (bit flip in the encoding)
-  or skip it entirely,
+* *fault effects*: at each dynamic step named by the fault plan, one
+  :class:`~repro.emu.effects.FaultEffect` is applied — a fetch-stage
+  effect substitutes or drops the fetched instruction (bit flip in the
+  encoding, instruction skip), a state-stage effect corrupts
+  registers/flags/memory/PC around the step (legacy
+  ``(insn, cpu) -> Instruction|None`` intercept callables are still
+  accepted and coerced),
 * CPU/IO snapshotting which, combined with the memory write journal,
   substitutes for the paper's per-fault ``fork()``,
 * trace checkpointing: periodic whole-state snapshots (CPU + I/O +
   memory pages) every ``checkpoint_interval`` steps, so a campaign can
   resume a faulted run from the nearest checkpoint instead of
   re-executing the whole prefix.
+
+The decode cache is coherent under code mutation: any write landing in
+an executable page — a guest's self-modifying store, an injected
+memory fault, or a journal rollback undoing either — evicts the
+overlapping cached decodes, and whole-state checkpoint restores clear
+the cache once code has ever been dirtied.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from typing import Callable, Optional
 from repro.binfmt.image import Executable
 from repro.binfmt.reader import read_elf
 from repro.emu.cpu import CPU, ExitProgram, Halt
+from repro.emu.effects import as_effect
 from repro.emu.memory import Memory
 from repro.emu.syscalls import IOState, SyscallHandler
 from repro.errors import DecodingError, EmulationError
@@ -69,8 +80,10 @@ class RunResult:
                 f"steps={self.steps}, stdout={out!r})")
 
 
-# Type of a fault intercept: receives the decoded instruction at the
-# fault step, returns a replacement Instruction, or None to skip.
+# Legacy fault-intercept type: receives the decoded instruction at the
+# fault step, returns a replacement Instruction, or None to skip.  New
+# code passes :class:`~repro.emu.effects.FaultEffect` objects instead;
+# ``Machine.run`` coerces either form.
 FaultIntercept = Callable[[Instruction, CPU], Optional[Instruction]]
 
 
@@ -146,6 +159,29 @@ class Machine:
         self.cpu.regs[4] = STACK_TOP - 0x1000  # rsp with headroom
         self.cpu.syscall_handler = SyscallHandler(self.io)
         self._decode_cache: dict[int, Instruction] = {}
+        # Sticky: set the first time executable bytes are mutated, so
+        # checkpoint restores know cached decodes may be stale.
+        self._code_dirty = False
+        self.memory.exec_write_hook = self._on_exec_write
+
+    def _on_exec_write(self, address: int, size: int) -> None:
+        """A write landed in an executable page: evict stale decodes.
+
+        Without this, a memory-corrupting fault or a self-modifying
+        store would keep executing the pre-write decode of the
+        clobbered bytes.  Entries are matched by their decoded length,
+        so only decodes actually overlapping the written range drop.
+        """
+        self._code_dirty = True
+        cache = self._decode_cache
+        if not cache:
+            return
+        end = address + size
+        stale = [cached_address for cached_address, insn in cache.items()
+                 if cached_address < end
+                 and address < cached_address + (insn.length or 15)]
+        for cached_address in stale:
+            del cache[cached_address]
 
     # -- snapshot/restore (fork substitute) ------------------------------
 
@@ -188,6 +224,11 @@ class Machine:
         self.io.stdout = bytearray(cp.stdout)
         self.io.stderr = bytearray(cp.stderr)
         self.memory.pages_restore(cp.pages, cp.perms)
+        self.memory.exec_write_hook = self._on_exec_write
+        if self._code_dirty:
+            # code bytes were mutated at some point; a restore may move
+            # them under cached decodes, so drop the cache wholesale
+            self._decode_cache.clear()
         return cp.step
 
     # -- execution ---------------------------------------------------------
@@ -211,11 +252,16 @@ class Machine:
             checkpoint_sink: Optional[list] = None) -> RunResult:
         """Run until exit/halt/crash or ``max_steps``.
 
-        When ``fault_intercept`` is given it is consulted exactly once,
-        at dynamic instruction index ``fault_step`` (0-based).
-        ``fault_plan`` generalizes this to multiple faults per run:
-        a ``{step: intercept}`` mapping (the paper notes the faulter is
-        parametric in "the number of faults injected per run").
+        ``fault_plan`` maps dynamic instruction indices (0-based) to
+        the fault applied there — a
+        :class:`~repro.emu.effects.FaultEffect`, or a legacy
+        ``(insn, cpu) -> Instruction|None`` intercept callable (the
+        paper notes the faulter is parametric in "the number of faults
+        injected per run").  ``fault_intercept``/``fault_step`` are the
+        single-fault convenience form of the same plan.  An effect that
+        returns a replacement instruction has it executed in place of
+        the fetched one; an effect that consumes the step (skip,
+        forced branch) advances the PC itself.
 
         When ``checkpoint_sink`` is a list and ``checkpoint_interval``
         is positive, a :class:`Checkpoint` is appended before executing
@@ -226,9 +272,10 @@ class Machine:
         trace: list[int] = []
         steps = 0
         reason, exit_code, detail = MAX_STEPS, None, ""
-        plan = dict(fault_plan) if fault_plan else {}
+        plan = {step: as_effect(entry)
+                for step, entry in (fault_plan or {}).items()}
         if fault_intercept is not None and fault_step >= 0:
-            plan[fault_step] = fault_intercept
+            plan[fault_step] = as_effect(fault_intercept)
         checkpointing = (checkpoint_sink is not None
                          and checkpoint_interval
                          and checkpoint_interval > 0)
@@ -244,15 +291,14 @@ class Machine:
                     checkpoint_sink.append(self.checkpoint(steps))
                 try:
                     instruction = self.fetch_decode(rip)
-                    intercept = plan.get(steps) if plan else None
-                    if intercept is not None:
-                        mutated = intercept(instruction, cpu)
-                        if mutated is None:
-                            # instruction-skip fault
-                            cpu.rip = rip + instruction.length
+                    effect = plan.get(steps) if plan else None
+                    if effect is not None:
+                        instruction = effect.apply(self, instruction)
+                        if instruction is None:
+                            # the effect consumed the step (skip /
+                            # forced branch) and set the next PC
                             steps += 1
                             continue
-                        instruction = mutated
                     cpu.execute(instruction)
                 except DecodingError as exc:
                     raise EmulationError(f"invalid opcode at {rip:#x}: "

@@ -22,6 +22,10 @@ class Memory:
         self._pages: dict[int, bytearray] = {}
         self._perms: dict[int, str] = {}
         self._journal: list[tuple[int, int, bytes]] | None = None
+        # Called with (address, size) after any write that touches an
+        # executable page — including journal rollbacks restoring such
+        # a write — so the owner can invalidate stale decodes.
+        self.exec_write_hook = None
 
     # -- mapping -----------------------------------------------------------
 
@@ -84,9 +88,36 @@ class Memory:
             self._journal.append(
                 (address, len(data), self._read_raw(address, len(data))))
         self._write_raw(address, data)
+        self._notify_exec_write(address, len(data))
 
     def write_u64(self, address: int, value: int):
         self.write(address, (value % (1 << 64)).to_bytes(8, "little"))
+
+    # -- fault injection (permission-blind, journaled) -----------------------
+
+    def peek(self, address: int, size: int) -> bytes:
+        """Read ``size`` bytes ignoring page permissions.
+
+        Fault injectors observe cells the guest may not be allowed to
+        read; unmapped addresses still raise :class:`MemoryFault`.
+        """
+        return self._access(address, size, None)
+
+    def poke(self, address: int, data: bytes):
+        """Write ``data`` ignoring page permissions, but journaled.
+
+        The injection path for state faults: a physical upset does not
+        consult the MMU, yet the campaign's snapshot rollback must
+        still be able to undo it, so the write is recorded in the
+        journal exactly like a guest write.
+        """
+        if not data:
+            return
+        if self._journal is not None:
+            self._journal.append(
+                (address, len(data), self._read_raw(address, len(data))))
+        self._write_raw(address, data)
+        self._notify_exec_write(address, len(data))
 
     # -- whole-state snapshots (checkpointing) -------------------------------
 
@@ -118,8 +149,9 @@ class Memory:
         """Undo all writes since :meth:`journal_begin` (LIFO) and stop."""
         if self._journal is None:
             return
-        for address, _, original in reversed(self._journal):
+        for address, size, original in reversed(self._journal):
             self._write_raw(address, original)
+            self._notify_exec_write(address, size)
         self._journal = None
 
     def journal_discard(self):
@@ -127,6 +159,17 @@ class Memory:
         self._journal = None
 
     # -- internals -----------------------------------------------------------
+
+    def _notify_exec_write(self, address: int, size: int):
+        hook = self.exec_write_hook
+        if hook is None:
+            return
+        first = address >> 12
+        last = (address + size - 1) >> 12
+        for page in range(first, last + 1):
+            if "x" in self._perms.get(page, ""):
+                hook(address, size)
+                return
 
     def _access(self, address: int, size: int, perm: str | None) -> bytes:
         page = address >> 12

@@ -2,11 +2,13 @@
 
 Implements Section IV-B.1 of the paper: run the target binary with the
 "bad" input, record the execution trace, then for every offset in that
-trace inject each fault a chosen fault model can express (skip the
-instruction, flip one encoding bit, ...) and observe whether the binary
-now exhibits the behaviour reserved for the "good" input — a
-*successful fault*.  Crashes and still-incorrect runs are ignored,
-exactly as the paper prescribes.
+trace inject each fault a chosen fault model can express — encoding
+faults (skip the instruction, flip one encoding bit, stuck bus byte)
+or state faults (flip a live register bit, force a status flag,
+corrupt an accessed memory cell, invert a conditional branch) — and
+observe whether the binary now exhibits the behaviour reserved for the
+"good" input — a *successful fault*.  Crashes and still-incorrect runs
+are ignored, exactly as the paper prescribes.
 
 Campaign flavors are compositions over the unified engine: a
 :class:`~repro.faulter.space.FaultSpace` enumerator executed on an
@@ -14,9 +16,17 @@ Campaign flavors are compositions over the unified engine: a
 """
 
 from repro.faulter.models import (
+    BranchInvert,
+    ENCODING_MODELS,
+    EncodingFaultModel,
     FaultModel,
+    FlagStuck,
     InstructionSkip,
+    MemOperandBitFlip,
+    RegisterBitFlip,
+    STATE_MODELS,
     SingleBitFlip,
+    StateFaultModel,
     StuckAtZeroByte,
     model_by_name,
     MODELS,
@@ -51,9 +61,17 @@ from repro.faulter.space import (
 
 __all__ = [
     "FaultModel",
+    "EncodingFaultModel",
+    "StateFaultModel",
     "InstructionSkip",
     "SingleBitFlip",
     "StuckAtZeroByte",
+    "RegisterBitFlip",
+    "FlagStuck",
+    "MemOperandBitFlip",
+    "BranchInvert",
+    "ENCODING_MODELS",
+    "STATE_MODELS",
     "model_by_name",
     "MODELS",
     "Fault",

@@ -68,6 +68,7 @@ from repro.faulter.space import (
     FaultSpace,
     SpaceContext,
 )
+from repro.isa.metadata import effects as isa_effects
 
 # An executed point: (point, outcome class).
 PointOutcome = tuple[FaultPoint, str]
@@ -100,16 +101,13 @@ def _normalize_interval(interval: int | float | None):
     return interval
 
 
-def _intercept(model: FaultModel, detail: tuple):
-    return lambda insn, cpu: model.apply(insn, cpu, detail)
-
-
 def _fault_plan(
     model: FaultModel, point: FaultPoint, base_step: int
 ) -> dict:
-    """Plan keyed by steps relative to a resume point ``base_step``."""
+    """Effect plan keyed by steps relative to a resume point
+    ``base_step``."""
     return {
-        step - base_step: _intercept(model, detail)
+        step - base_step: model.effect(detail)
         for step, detail in zip(point.steps, point.details)
     }
 
@@ -138,13 +136,18 @@ def build_space_context(
     exact same fault points.
     """
     probe = Machine(image, stdin=bad_input)
+    # encoding models ignore the ISA metadata, so only the state
+    # family pays for deriving it (once per offset; ctx memoizes)
+    wants_meta = model.family == "state"
 
     def variants_at(step: int):
         # A bad-input run that died on an invalid opcode records the
         # failing address as its final trace entry; such a step has
         # no injectable faults (the legacy driver stopped there).
         try:
-            return model.variants(probe.fetch_decode(trace[step]))
+            insn = probe.fetch_decode(trace[step])
+            meta = isa_effects(insn) if wants_meta else None
+            return model.variants(insn, meta)
         except (DecodingError, EmulationError):
             return ()
 

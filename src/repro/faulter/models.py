@@ -1,112 +1,289 @@
 """Fault models.
 
 A fault model enumerates, per dynamic instruction, the concrete faults
-it can inject there, and knows how to apply one of them at the moment
-the instruction is about to execute.
+it can inject there (:meth:`FaultModel.variants`), and maps each
+variant onto the :class:`~repro.emu.effects.FaultEffect` the machine
+applies at the faulted step (:meth:`FaultModel.effect`).
 
-* :class:`InstructionSkip` — the classic glitch effect: the instruction
-  is fetched but never executed (PC advances past it).
-* :class:`SingleBitFlip` — one bit of the instruction *encoding* is
-  flipped during fetch.  The mutated bytes are re-decoded at the same
-  address: they may form a different valid instruction (possibly of a
-  different length, consuming following bytes — as on silicon) or an
-  invalid one, which crashes the run.
-* :class:`StuckAtZeroByte` — an extension model: one encoding byte reads
-  as zero (bus stuck-at), exercising multi-bit corruption.
+Models come in two families:
+
+* **encoding** (:class:`EncodingFaultModel`) — the fault perturbs the
+  instruction *fetch*: :class:`InstructionSkip`,
+  :class:`SingleBitFlip` (one encoding bit), :class:`StuckAtZeroByte`
+  (one encoding byte reads as zero).
+* **state** (:class:`StateFaultModel`) — the fault perturbs machine
+  *state* around one step: :class:`RegisterBitFlip` (one bit of one
+  live register), :class:`FlagStuck` (force ZF/CF/SF at a
+  flag-consuming instruction), :class:`MemOperandBitFlip` (one bit of
+  the accessed memory cell), :class:`BranchInvert` (take/untake a
+  conditional).  State models enumerate against the instruction's ISA
+  metadata (:func:`repro.isa.metadata.effects`), so only faults with a
+  live substrate are generated.
+
+Every model is stateless and picklable; the unit that crosses process
+boundaries is the ``(model name, detail tuple)`` pair, and variant
+enumeration is a pure function of the traced instruction — which is
+what keeps campaigns bit-identical across backends and checkpoint
+replay.
 """
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.emu.cpu import CPU
-from repro.isa.decoder import decode
-from repro.isa.insn import Instruction
+from repro.emu.effects import (
+    BranchInvertEffect,
+    EncodingBitFlipEffect,
+    EncodingStuckByteEffect,
+    FaultEffect,
+    FlagForceEffect,
+    MemoryBitFlipEffect,
+    RegisterBitFlipEffect,
+    SkipEffect,
+)
+from repro.isa.insn import Instruction, Mnemonic
+from repro.isa.metadata import Effects, effects as isa_effects
+from repro.isa.operands import Mem
+from repro.isa.registers import RIP, gpr64
+
+# Status flags a stuck-at upset can force (the ones the subset's
+# conditions consume most; see repro.isa.cond).
+FORCEABLE_FLAGS = ("zf", "cf", "sf")
+
+GPR_BITS = 64
 
 
 class FaultModel:
     """Base class for fault models."""
 
     name = "abstract"
+    family = "abstract"
+    stage = "abstract"
 
-    def variants(self, insn: Instruction) -> Sequence[tuple]:
-        """Concrete fault parameters injectable at ``insn``."""
+    def variants(
+        self, insn: Instruction, meta: Optional[Effects] = None
+    ) -> Sequence[tuple]:
+        """Concrete fault parameters injectable at ``insn``.
+
+        ``meta`` carries the instruction's ISA metadata (registers and
+        flags read/written); callers that already computed it pass it
+        in, otherwise it is derived on demand.
+        """
         raise NotImplementedError
 
-    def apply(
-        self, insn: Instruction, cpu: CPU, detail: tuple
-    ) -> Optional[Instruction]:
-        """Perform the fault.
-
-        Returns the replacement instruction to execute, or ``None`` for
-        "skip".  May raise :class:`~repro.errors.DecodingError`, which
-        the machine surfaces as an invalid-opcode crash.
-        """
+    def effect(self, detail: tuple) -> FaultEffect:
+        """The machine-level effect for one enumerated variant."""
         raise NotImplementedError
 
     def describe(self, detail: tuple) -> str:
         return self.name
 
 
-class InstructionSkip(FaultModel):
+class EncodingFaultModel(FaultModel):
+    """Faults perturbing the instruction fetch (encoding corruption)."""
+
+    family = "encoding"
+    stage = "fetch"
+
+
+class StateFaultModel(FaultModel):
+    """Faults perturbing CPU/memory state around one dynamic step."""
+
+    family = "state"
+    stage = "state"
+
+    def _meta(self, insn: Instruction,
+              meta: Optional[Effects]) -> Effects:
+        return meta if meta is not None else isa_effects(insn)
+
+
+class InstructionSkip(EncodingFaultModel):
     """Skip exactly one dynamic instruction."""
 
     name = "skip"
 
-    def variants(self, insn: Instruction) -> Sequence[tuple]:
+    def variants(self, insn, meta=None) -> Sequence[tuple]:
         return [()]
 
-    def apply(self, insn, cpu, detail):
-        return None
+    def effect(self, detail):
+        return SkipEffect()
 
     def describe(self, detail: tuple) -> str:
         return "skip"
 
 
-class SingleBitFlip(FaultModel):
+class SingleBitFlip(EncodingFaultModel):
     """Flip one bit of the instruction encoding during fetch."""
 
     name = "bitflip"
 
-    def variants(self, insn: Instruction) -> Sequence[tuple]:
+    def variants(self, insn, meta=None) -> Sequence[tuple]:
         return [(bit,) for bit in range(len(insn.raw) * 8)]
 
-    def apply(self, insn, cpu, detail):
+    def effect(self, detail):
         (bit,) = detail
-        raw = bytearray(cpu.memory.fetch(insn.address, 15))
-        raw[bit // 8] ^= 1 << (bit % 8)
-        return decode(bytes(raw), 0, insn.address)
+        return EncodingBitFlipEffect(bit)
 
     def describe(self, detail: tuple) -> str:
         return f"bitflip(bit={detail[0]})"
 
 
-class StuckAtZeroByte(FaultModel):
+class StuckAtZeroByte(EncodingFaultModel):
     """One encoding byte reads as 0x00 (stuck-at-zero bus fault)."""
 
     name = "stuck0"
 
-    def variants(self, insn: Instruction) -> Sequence[tuple]:
+    def variants(self, insn, meta=None) -> Sequence[tuple]:
         return [(index,) for index in range(len(insn.raw))]
 
-    def apply(self, insn, cpu, detail):
+    def effect(self, detail):
         (index,) = detail
-        raw = bytearray(cpu.memory.fetch(insn.address, 15))
-        raw[index] = 0
-        return decode(bytes(raw), 0, insn.address)
+        return EncodingStuckByteEffect(index)
 
     def describe(self, detail: tuple) -> str:
         return f"stuck0(byte={detail[0]})"
 
 
+class RegisterBitFlip(StateFaultModel):
+    """Flip one bit of one *live* register before the step executes.
+
+    Live means the instruction reads or writes the register (per the
+    ISA metadata); faulting a dead register cannot change the step's
+    semantics, so those points are not enumerated.  Details are
+    ``(gpr code, bit)`` over the full 64-bit parent register.
+    """
+
+    name = "reg-bitflip"
+
+    def variants(self, insn, meta=None) -> Sequence[tuple]:
+        meta = self._meta(insn, meta)
+        live = sorted(
+            {register.code for register in (meta.reads | meta.writes)
+             if register is not RIP}
+        )
+        return [(code, bit) for code in live for bit in range(GPR_BITS)]
+
+    def effect(self, detail):
+        code, bit = detail
+        return RegisterBitFlipEffect(code, bit)
+
+    def describe(self, detail: tuple) -> str:
+        code, bit = detail
+        return f"reg-bitflip({gpr64(code).name}, bit={bit})"
+
+
+class FlagStuck(StateFaultModel):
+    """Force one status flag at an instruction that consumes flags.
+
+    Enumerated only where the fault has a consumer — conditional
+    branches, ``set<cc>``/``cmov<cc>`` and ``pushfq`` — which is where
+    a glitched comparison changes control flow.  Details are
+    ``(flag name, forced value)`` over ZF/CF/SF.
+    """
+
+    name = "flag-stuck"
+
+    def variants(self, insn, meta=None) -> Sequence[tuple]:
+        meta = self._meta(insn, meta)
+        if not meta.reads_flags:
+            return []
+        return [(flag, value)
+                for flag in FORCEABLE_FLAGS for value in (0, 1)]
+
+    def effect(self, detail):
+        flag, value = detail
+        return FlagForceEffect(flag, value)
+
+    def describe(self, detail: tuple) -> str:
+        flag, value = detail
+        return f"flag-stuck({flag}={value})"
+
+
+class MemOperandBitFlip(StateFaultModel):
+    """Flip one bit of the memory cell an operand is about to *read*.
+
+    Enumerated per explicit memory operand whose cell the instruction
+    consumes, one variant per bit of the accessed width; the effective
+    address is resolved at injection time against the live machine
+    state, exactly like the access itself.  Write-only destinations
+    (``mov``/``movzx``/``set<cc>`` stores) are excluded — the store
+    immediately overwrites the flipped cell, so every such point would
+    be a guaranteed no-op paid at full replay cost — as is ``lea``,
+    whose memory operand is an address computation that never touches
+    the cell.  Details are ``(memory-operand ordinal, bit)``.
+    """
+
+    name = "mem-bitflip"
+
+    # first-operand mnemonics whose memory destination is written
+    # without being read (metadata read_dest=False)
+    _WRITE_ONLY_DEST = frozenset(
+        (Mnemonic.MOV, Mnemonic.MOVZX, Mnemonic.SETCC, Mnemonic.POP))
+
+    def variants(self, insn, meta=None) -> Sequence[tuple]:
+        if insn.mnemonic is Mnemonic.LEA:
+            return []
+        out = []
+        ordinal = 0
+        for position, operand in enumerate(insn.operands):
+            if not isinstance(operand, Mem):
+                continue
+            write_only = (position == 0
+                          and insn.mnemonic in self._WRITE_ONLY_DEST)
+            if not write_only:
+                out.extend((ordinal, bit)
+                           for bit in range(operand.size * 8))
+            ordinal += 1
+        return out
+
+    def effect(self, detail):
+        ordinal, bit = detail
+        return MemoryBitFlipEffect(ordinal, bit)
+
+    def describe(self, detail: tuple) -> str:
+        ordinal, bit = detail
+        return f"mem-bitflip(operand={ordinal}, bit={bit})"
+
+
+class BranchInvert(StateFaultModel):
+    """Invert one conditional branch: taken becomes fall-through and
+    vice versa (a glitched branch unit / corrupted predicate)."""
+
+    name = "branch-invert"
+
+    def variants(self, insn, meta=None) -> Sequence[tuple]:
+        return [()] if insn.is_conditional else []
+
+    def effect(self, detail):
+        return BranchInvertEffect()
+
+    def describe(self, detail: tuple) -> str:
+        return "branch-invert"
+
+
 MODELS: dict[str, FaultModel] = {
     model.name: model
-    for model in (InstructionSkip(), SingleBitFlip(), StuckAtZeroByte())
+    for model in (
+        InstructionSkip(),
+        SingleBitFlip(),
+        StuckAtZeroByte(),
+        RegisterBitFlip(),
+        FlagStuck(),
+        MemOperandBitFlip(),
+        BranchInvert(),
+    )
 }
+
+ENCODING_MODELS = tuple(
+    name for name, model in MODELS.items() if model.family == "encoding"
+)
+STATE_MODELS = tuple(
+    name for name, model in MODELS.items() if model.family == "state"
+)
 
 
 def model_by_name(name: str) -> FaultModel:
-    """Look up a registered fault model (``skip``/``bitflip``/``stuck0``)."""
+    """Look up a registered fault model by name (see ``MODELS``)."""
     try:
         return MODELS[name]
     except KeyError:

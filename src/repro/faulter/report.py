@@ -3,7 +3,11 @@
 This module also owns the campaign *vocabulary* — the three outcome
 classes of Section IV-B.1, the :class:`Fault` record, and the outcome
 classifier — so the campaign drivers, the engine, and worker processes
-can all share it without importing each other.
+can all share it without importing each other.  The vocabulary is
+fault-model-agnostic: a :class:`Fault` names its model (any member of
+the ``repro.faulter.models`` registry, encoding or state family) and
+carries the model's opaque detail tuple, and the differential rollups
+key on those names, so new models flow through reporting untouched.
 
 :class:`CampaignReportBuilder` assembles a report *incrementally*:
 the engine folds each ``(point, outcome)`` row into it as execution

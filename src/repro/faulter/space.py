@@ -4,7 +4,11 @@ A :class:`FaultSpace` is a pure-data *spec* of which fault points a
 campaign visits — it holds no machine state, so it pickles cleanly
 across process boundaries.  Binding a space to one concrete bad-input
 trace happens through a :class:`SpaceContext`, which lazily decodes
-instructions and memoizes the per-offset fault variants.
+instructions and memoizes the per-offset fault variants.  Spaces are
+model-agnostic: variants are whatever the bound fault model expresses
+at an offset (encoding or state family alike), including zero — the
+cumulative-count machinery that powers flat-index location and
+partition direct-jump simply skips variant-less offsets.
 
 Enumerators:
 
