@@ -7,7 +7,7 @@ the Faulter+Patcher loop (Fig. 2) and shows the hardened binary
 resisting the same campaign.
 """
 
-from repro.api import find_vulnerabilities, harden_binary
+from repro.api import Target
 from repro.emu import Machine, run_executable
 from repro.workloads import pincheck
 
@@ -15,6 +15,7 @@ from repro.workloads import pincheck
 def main():
     wl = pincheck.workload(pin="1234")
     exe = wl.build()
+    target = wl.target(exe=exe)   # Target: exe + inputs + oracle
 
     print("=== baseline behaviour " + "=" * 40)
     good = run_executable(exe, stdin=wl.good_input)
@@ -23,9 +24,7 @@ def main():
     print(f"wrong pin    -> {bad.stdout.decode().strip()!r}")
 
     print("\n=== fault campaign on the unprotected binary " + "=" * 18)
-    reports = find_vulnerabilities(
-        exe, wl.good_input, wl.bad_input, wl.grant_marker,
-        models=("skip",), name=wl.name)
+    reports = target.campaign(models=("skip",))
     print(reports["skip"].summary())
 
     # demonstrate one successful fault concretely
@@ -38,10 +37,8 @@ def main():
           f"{result.stdout.decode().strip()!r}")
 
     print("\n=== Faulter+Patcher hardening (Fig. 2) " + "=" * 24)
-    hardened = harden_binary(
-        exe, wl.good_input, wl.bad_input, wl.grant_marker,
-        approach="faulter+patcher", fault_models=("skip",),
-        name=wl.name)
+    hardened = target.harden(approach="faulter+patcher",
+                             fault_models=("skip",))
     print(hardened.report())
 
     print("\n=== hardened binary behaviour " + "=" * 33)
@@ -50,9 +47,9 @@ def main():
     print(f"correct pin  -> {good.stdout.decode().strip()!r}")
     print(f"wrong pin    -> {bad.stdout.decode().strip()!r}")
 
-    reports = find_vulnerabilities(
-        hardened.hardened, wl.good_input, wl.bad_input,
-        wl.grant_marker, models=("skip",), name="hardened")
+    retest = Target(hardened.hardened, wl.good_input, wl.bad_input,
+                    wl.grant_marker, name="hardened")
+    reports = retest.campaign(models=("skip",))
     print(f"successful skip faults after hardening: "
           f"{reports['skip'].outcomes.get('success', 0)}")
 

@@ -7,7 +7,6 @@ digest match.  We attack it with instruction-skip *and* single-bit-flip
 faults, then harden it with both methodologies and compare.
 """
 
-from repro.api import find_vulnerabilities, harden_binary
 from repro.emu import run_executable
 from repro.workloads import bootloader
 
@@ -15,6 +14,7 @@ from repro.workloads import bootloader
 def main():
     wl = bootloader.workload(rich=True)
     exe = wl.build()
+    target = wl.target(exe=exe)   # Target: exe + inputs + oracle
     print(f"bootloader text size: {exe.code_size()} bytes")
 
     tampered = wl.bad_input
@@ -22,9 +22,7 @@ def main():
           f"{run_executable(exe, stdin=tampered).stdout.decode()!r}")
 
     print("\n--- fault campaigns on the unprotected loader ---")
-    reports = find_vulnerabilities(
-        exe, wl.good_input, tampered, wl.grant_marker,
-        models=("skip", "bitflip"), name=wl.name)
+    reports = target.campaign(models=("skip", "bitflip"))
     for model, report in reports.items():
         points = report.vulnerable_points()
         print(f"{model:>8}: {report.outcomes.get('success', 0)} "
@@ -33,15 +31,12 @@ def main():
                           for p in points))
 
     print("\n--- approach 1: Faulter+Patcher (targeted) ---")
-    fp = harden_binary(exe, wl.good_input, tampered, wl.grant_marker,
-                       approach="faulter+patcher",
-                       fault_models=("skip",), name=wl.name)
+    fp = target.harden(approach="faulter+patcher",
+                       fault_models=("skip",))
     print(fp.report())
 
     print("\n--- approach 2: Hybrid lift/harden/lower (holistic) ---")
-    hy = harden_binary(exe, wl.good_input, tampered, wl.grant_marker,
-                       approach="hybrid", fault_models=("skip",),
-                       name=wl.name)
+    hy = target.harden(approach="hybrid", fault_models=("skip",))
     print(hy.report())
 
     print("\n--- the trade-off (paper Section IV-D) ---")

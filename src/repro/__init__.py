@@ -12,18 +12,16 @@ IR with a lowering backend.
 
 Quickstart::
 
-    from repro.api import harden_binary
     from repro.workloads import pincheck
 
-    binary = pincheck.build()
-    result = harden_binary(
-        binary,
-        approach="faulter+patcher",
-        fault_models=("skip",),
-        good_input=b"1234\\n",
-        bad_input=b"9999\\n",
-    )
+    target = pincheck.workload().target()
+    result = target.harden(approach="faulter+patcher",
+                           fault_models=("skip",))
     print(result.report())
+
+(See ``docs/api.md`` for the session API — ``Target``/``Oracle``/
+``EngineConfig`` — and the migration path from the deprecated free
+functions.)
 """
 
 __version__ = "1.0.0"
@@ -35,12 +33,12 @@ def __getattr__(name):
     ``repro.harden_binary`` / ``repro.find_vulnerabilities`` work
     without importing the whole pipeline at package-import time.
     """
-    if name in ("harden_binary", "find_vulnerabilities",
-                "hardened_elf"):
+    if name in ("Target", "EngineConfig", "harden_binary",
+                "find_vulnerabilities", "hardened_elf"):
         from repro import api
         return getattr(api, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
-__all__ = ["__version__", "harden_binary", "find_vulnerabilities",
-           "hardened_elf"]
+__all__ = ["__version__", "Target", "EngineConfig", "harden_binary",
+           "find_vulnerabilities", "hardened_elf"]

@@ -1,177 +1,315 @@
-"""Top-level convenience API.
+"""Top-level session API.
 
-Three entry points mirror the paper's methodologies::
+One object — a :class:`Target` — bundles everything the paper's
+pipeline re-threads through every step: the binary under test, the
+good/bad campaign inputs, and the fault-detection :class:`Oracle`
+deciding when a run counts as the privileged behaviour::
 
-    from repro.api import (find_vulnerabilities, harden_binary,
-                           evaluate_countermeasures)
+    from repro.api import EngineConfig, Target
+    from repro.faulter.oracle import ExitCodeOracle
 
-    report = find_vulnerabilities(exe, good, bad, marker,
-                                  models=("skip", "bitflip"))
+    target = Target(elf_bytes, good, bad, b"ACCESS GRANTED",
+                    name="pincheck")          # bytes -> MarkerOracle
+    # or: Target(path, good, bad, ExitCodeOracle(0), name="gate")
+    # or: workload.target()
 
-    result = harden_binary(exe, good_input=good, bad_input=bad,
-                           grant_marker=marker,
-                           approach="faulter+patcher")   # or "hybrid",
-                                                         # or "detour"
-
-    evaluation = evaluate_countermeasures(exe, good, bad, marker,
-                                          approach="faulter+patcher")
+    reports = target.campaign(models=("skip", "bitflip"))
+    result = target.harden(approach="faulter+patcher")
+    evaluation = target.evaluate(
+        approach="detour", models=("skip",),
+        config=EngineConfig(backend="multiprocess", workers=4))
     print(evaluation.diff.table())
 
-``evaluate_countermeasures`` is the paper's actual evaluation loop
-(Tables III-V): baseline campaign -> harden -> re-fault -> join the two
+``EngineConfig`` replaces the per-call engine-knob sprawl (losslessly
+serializable; validated at construction).  Hardening approaches live
+in the :data:`repro.hardening.HARDENING_APPROACHES` registry —
+``approach=`` strings, CLI choices, and the evaluation's dispatch all
+derive from it, and :func:`repro.hardening.register_approach` plugs in
+third-party rewriters without touching this module.
+
+``Target.evaluate`` is the paper's actual evaluation loop (Tables
+III-V): baseline campaign -> harden -> re-fault -> join the two
 campaigns point-by-point through the rewrite's provenance map.
+
+The pre-session free functions — :func:`find_vulnerabilities`,
+:func:`harden_binary`, :func:`evaluate_countermeasures` — remain as
+thin deprecated shims over :class:`Target` and produce bit-identical
+reports (asserted by the tests).
 """
 
 from __future__ import annotations
 
+import os
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
 
 from repro.binfmt.image import Executable
 from repro.binfmt.reader import read_elf
 from repro.binfmt.writer import write_elf
-from repro.detour.rewriter import DetourResult, detour_harden
+from repro.detour.rewriter import DetourResult
 from repro.faulter.campaign import Faulter
-from repro.faulter.engine import resolve_backend
-from repro.faulter.models import model_by_name
+from repro.faulter.engine import EngineConfig
+from repro.faulter.oracle import (
+    AllOf,
+    AnyOf,
+    ExitCodeOracle,
+    MarkerOracle,
+    MemoryPredicateOracle,
+    Oracle,
+    coerce_oracle,
+    oracle_from_dict,
+)
 from repro.faulter.report import (
     CampaignReport,
     DifferentialReport,
     differential_report,
 )
-from repro.hybrid.pipeline import HybridResult, hybrid_harden
-from repro.patcher.loop import FaulterPatcherLoop, HardenResult
+from repro.hardening import (
+    HARDENING_APPROACHES,
+    HardeningApproach,
+    approach_by_name,
+    register_approach,
+)
+from repro.hybrid.pipeline import HybridResult
+from repro.patcher.loop import HardenResult
 from repro.provenance import ProvenanceMap
 
-APPROACHES = ("faulter+patcher", "hybrid", "detour")
+__all__ = [
+    "APPROACHES",
+    "AllOf",
+    "AnyOf",
+    "EngineConfig",
+    "EvaluationResult",
+    "ExitCodeOracle",
+    "HARDENING_APPROACHES",
+    "HardeningApproach",
+    "HardeningResult",
+    "MarkerOracle",
+    "MemoryPredicateOracle",
+    "Oracle",
+    "Target",
+    "approach_by_name",
+    "coerce_oracle",
+    "evaluate_countermeasures",
+    "find_vulnerabilities",
+    "harden_binary",
+    "hardened_elf",
+    "oracle_from_dict",
+    "register_approach",
+]
+
+# import-time snapshot kept for backward compatibility; the live
+# table is repro.hardening.HARDENING_APPROACHES
+APPROACHES = tuple(HARDENING_APPROACHES)
 
 HardeningResult = Union[HardenResult, HybridResult, DetourResult]
 
 
-def _as_executable(image: Union[Executable, bytes]) -> Executable:
+def _as_executable(
+    image: Union[Executable, bytes, str, os.PathLike]
+) -> Executable:
+    if isinstance(image, (str, os.PathLike)):
+        with open(image, "rb") as handle:
+            return read_elf(handle.read())
     if isinstance(image, (bytes, bytearray)):
         return read_elf(bytes(image))
     return image
 
 
-def _encoding_family(models: Sequence) -> tuple:
-    """Restrict ``models`` to the encoding family, defaulting to skip.
+def _as_config(config) -> EngineConfig:
+    if config is None:
+        return EngineConfig()
+    if isinstance(config, dict):
+        return EngineConfig.from_dict(config)
+    return config
 
-    The Fig. 2 patch loop's duplication patterns protect against fetch
-    faults; iterating it on a state model would churn expensive
-    campaigns it can never converge.  State models stay
-    evaluation-only (see :func:`evaluate_countermeasures`).
+
+def _section_namer(exe: Executable):
+    def name_of(address: int) -> str:
+        section = exe.section_at(address)
+        return section.name if section is not None else "?"
+    return name_of
+
+
+class Target:
+    """One binary under test, with its campaign inputs and oracle.
+
+    ``image`` may be an :class:`Executable`, raw ELF bytes, or a
+    filesystem path.  ``oracle`` is any
+    :class:`~repro.faulter.oracle.Oracle`; raw ``bytes`` coerce to the
+    default :class:`MarkerOracle` (the paper's stdout-marker check).
+    The bound :class:`~repro.faulter.campaign.Faulter` — and therefore
+    the validated baseline and the recorded bad-input trace — is
+    created lazily on the first campaign and cached across
+    ``campaign``/``evaluate`` calls.
     """
-    def family(model):
-        if isinstance(model, str):
-            return model_by_name(model).family
-        return model.family
 
-    return tuple(m for m in models if family(m) == "encoding") \
-        or ("skip",)
+    def __init__(self,
+                 image: Union[Executable, bytes, str, os.PathLike],
+                 good_input: bytes,
+                 bad_input: bytes,
+                 oracle: Union[Oracle, bytes],
+                 name: str = "target",
+                 max_steps: int = 100_000):
+        self.exe = _as_executable(image)
+        self.good_input = good_input
+        self.bad_input = bad_input
+        self.oracle = coerce_oracle(oracle)
+        self.name = name
+        self.max_steps = max_steps
+        self._faulter: Optional[Faulter] = None
 
+    @classmethod
+    def from_path(cls, path: Union[str, os.PathLike],
+                  good_input: bytes, bad_input: bytes,
+                  oracle: Union[Oracle, bytes],
+                  name: Optional[str] = None,
+                  max_steps: int = 100_000) -> "Target":
+        """Load an ELF from ``path`` (named after it by default)."""
+        return cls(path, good_input, bad_input, oracle,
+                   name=name if name is not None else str(path),
+                   max_steps=max_steps)
 
-def find_vulnerabilities(image: Union[Executable, bytes],
-                         good_input: bytes,
-                         bad_input: bytes,
-                         grant_marker: bytes,
-                         models: Sequence[str] = ("skip", "bitflip"),
-                         name: str = "target",
-                         backend: Union[str, object, None] = None,
-                         checkpoint_interval: Union[int, float,
-                                                    None] = None,
-                         workers: Union[int, None] = None,
-                         k_faults: int = 1,
-                         samples: int = 200,
-                         seed: int = 0,
-                         stream: Union[bool, None] = None,
-                         max_resident_points: Union[int, None] = None
-                         ) -> dict[str, CampaignReport]:
-    """Run fault campaigns against a binary (the faulter alone).
+    def faulter(self) -> Faulter:
+        """The campaign driver bound to this target (cached)."""
+        if self._faulter is None:
+            self._faulter = Faulter(
+                self.exe, self.good_input, self.bad_input, self.oracle,
+                name=self.name, max_steps=self.max_steps)
+        return self._faulter
 
-    ``models`` names members of the ``repro.faulter.models`` registry
-    — encoding faults (``skip``/``bitflip``/``stuck0``) and state
-    faults (``reg-bitflip``/``flag-stuck``/``mem-bitflip``/
-    ``branch-invert``) run through the same engine.
-    Engine knobs: ``backend`` picks the execution backend
-    (``"sequential"``/``"multiprocess"`` or an
-    :class:`~repro.faulter.engine.ExecutionBackend` instance),
-    ``checkpoint_interval`` enables trace-checkpoint replay,
-    ``workers`` sizes the multiprocess pool, and ``k_faults`` > 1
-    switches to the sampled multi-fault campaign (``samples`` runs
-    drawn with ``seed``).  ``stream`` toggles bounded streaming
-    execution (default on) and ``max_resident_points`` sizes its
-    reorder window — the peak number of fault points resident at
-    once, regardless of the population size.
-    """
-    faulter = Faulter(_as_executable(image), good_input, bad_input,
-                      grant_marker, name=name)
-    resolved = resolve_backend(backend, workers=workers,
-                               checkpoint_interval=checkpoint_interval,
-                               stream=stream,
-                               max_resident_points=max_resident_points)
-    if k_faults > 1:
-        reports = {}
-        for model in models:
-            report = faulter.run_k_fault_campaign(
-                model, k=k_faults, samples=samples, seed=seed,
-                backend=resolved)
-            reports[report.model] = report
-        return reports
-    return faulter.run_all(models, backend=resolved)
+    # -- the paper's three methodologies ----------------------------------
 
+    def campaign(self,
+                 models: Sequence[str] = ("skip", "bitflip"),
+                 config: Optional[EngineConfig] = None
+                 ) -> dict[str, CampaignReport]:
+        """Run fault campaigns (the faulter alone); {model: report}.
 
-def harden_binary(image: Union[Executable, bytes],
-                  good_input: bytes,
-                  bad_input: bytes,
-                  grant_marker: bytes,
-                  approach: str = "faulter+patcher",
-                  fault_models: Sequence[str] = ("skip",),
-                  name: str = "target",
-                  **kwargs) -> HardeningResult:
-    """Harden a binary with one of the paper's rewriting approaches.
+        ``models`` names members of the ``repro.faulter.models``
+        registry — encoding faults (``skip``/``bitflip``/``stuck0``)
+        and state faults (``reg-bitflip``/``flag-stuck``/
+        ``mem-bitflip``/``branch-invert``) run through the same
+        engine.  ``config`` carries every engine knob (backend,
+        checkpointing, workers, streaming window, multi-fault
+        sampling); ``config.k_faults > 1`` switches to the sampled
+        multi-fault campaign.
+        """
+        config = _as_config(config)
+        return self._run_reports(self.faulter(), models, config,
+                                 config.resolve())
 
-    ``approach="faulter+patcher"`` runs the iterative Fig. 2 loop
-    (extra kwargs: ``max_iterations``, ``symbolization``);
-    ``approach="hybrid"`` runs the lift-harden-lower pipeline of
-    Fig. 3 (extra kwargs: ``uid_seed``, ``branch_filter``,
-    ``fold_constants``); ``approach="detour"`` applies the
-    duplication countermeasure through trampolines (Section III-B's
-    classic alternative).  All three results carry a
-    :class:`~repro.provenance.ProvenanceMap` for differential
-    evaluation.
+    @staticmethod
+    def _run_reports(faulter: Faulter, models: Sequence[str],
+                     config: EngineConfig, backend
+                     ) -> dict[str, CampaignReport]:
+        """Campaigns for ``models`` honouring every config knob."""
+        if config.k_faults > 1:
+            reports = {}
+            for model in models:
+                report = faulter.run_k_fault_campaign(
+                    model, k=config.k_faults, samples=config.samples,
+                    seed=config.seed, backend=backend)
+                reports[report.model] = report
+            return reports
+        return faulter.run_all(models, backend=backend)
 
-    The Fig. 2 loop iterates only on the *encoding-family* members of
-    ``fault_models`` (falling back to ``skip`` when none are given);
-    state models are evaluated against a hardened binary with
-    :func:`find_vulnerabilities` or :func:`evaluate_countermeasures`.
-    """
-    exe = _as_executable(image)
-    if approach == "faulter+patcher":
-        loop = FaulterPatcherLoop(
-            exe, good_input, bad_input, grant_marker,
-            models=_encoding_family(fault_models), name=name, **kwargs)
-        return loop.run()
-    if approach == "hybrid":
-        return hybrid_harden(
-            exe, good_input, bad_input, grant_marker, name=name,
-            models=fault_models, **kwargs)
-    if approach == "detour":
-        return detour_harden(
-            exe, good_input, bad_input, grant_marker, name=name,
-            models=fault_models, **kwargs)
-    raise ValueError(
-        f"unknown approach {approach!r}; pick one of {APPROACHES}")
+    def harden(self,
+               approach: str = "faulter+patcher",
+               fault_models: Sequence[str] = ("skip",),
+               **kwargs) -> HardeningResult:
+        """Harden with a registered approach; see
+        :mod:`repro.hardening`.
+
+        ``approach`` names an entry of ``HARDENING_APPROACHES``
+        (built-ins: ``faulter+patcher`` — the iterative Fig. 2 loop,
+        extra kwargs ``max_iterations``/``symbolization``; ``hybrid``
+        — the Fig. 3 lift-harden-lower pipeline, extra kwargs
+        ``uid_seed``/``branch_filter``/``fold_constants``; ``detour``
+        — duplication through trampolines).  All results carry a
+        :class:`~repro.provenance.ProvenanceMap` for differential
+        evaluation.  Approaches that consume fault models while
+        hardening (the Fig. 2 loop) iterate only on the
+        *encoding-family* members of ``fault_models``.
+        """
+        entry = approach_by_name(approach)
+        return entry.harden(
+            self.exe, self.good_input, self.bad_input, self.oracle,
+            models=tuple(fault_models), name=self.name, **kwargs)
+
+    def evaluate(self,
+                 approach: str = "faulter+patcher",
+                 models: Sequence[str] = ("skip",),
+                 config: Optional[EngineConfig] = None,
+                 harden_models: Optional[Sequence[str]] = None,
+                 **harden_kwargs) -> "EvaluationResult":
+        """The full differential evaluation loop (Tables III-V).
+
+        1. baseline fault campaigns (``models``) against the original,
+        2. harden with ``approach`` (approaches that consume fault
+           models iterate on ``harden_models``, default ``("skip",)``;
+           the others harden unconditionally),
+        3. re-fault the hardened binary under the same ``models`` and
+           engine ``config`` (streaming engine, any backend;
+           ``config.k_faults > 1`` runs both campaigns as sampled
+           multi-fault campaigns, exactly like :meth:`campaign`),
+        4. join both campaigns through the rewrite's provenance map
+           into a :class:`~repro.faulter.report.DifferentialReport`
+           classifying every point as eliminated/surviving/introduced/
+           unmapped.
+
+        State-family models are evaluation-only here: the patcher's
+        duplication patterns are designed against fetch faults, so
+        steps 1 and 3 campaign under every requested model while the
+        Fig. 2 loop iterates on the encoding members — which is
+        exactly how one asks whether a countermeasure survives data
+        faults it was never designed for.
+        """
+        config = _as_config(config)
+        backend = config.resolve()
+        baseline = self._run_reports(self.faulter(), models, config,
+                                     backend)
+
+        if harden_models is None:
+            harden_models = ("skip",)
+        entry = approach_by_name(approach)
+        # only approaches that *consume* fault models while hardening
+        # receive them; for the others they would merely duplicate
+        # step 3
+        fault_models = (tuple(harden_models)
+                        if entry.consumes_fault_models else ())
+        result = entry.harden(
+            self.exe, self.good_input, self.bad_input, self.oracle,
+            models=fault_models, name=self.name, **harden_kwargs)
+
+        hardened_faulter = Faulter(
+            result.hardened, self.good_input, self.bad_input,
+            self.oracle, name=f"{self.name}-hardened",
+            max_steps=self.max_steps)
+        hardened = self._run_reports(hardened_faulter, models, config,
+                                     backend)
+
+        diff = differential_report(
+            baseline, hardened, result.provenance, target=self.name,
+            section_of_original=_section_namer(self.exe),
+            section_of_rewritten=_section_namer(result.hardened))
+        return EvaluationResult(
+            approach=approach,
+            result=result,
+            baseline_reports=baseline,
+            hardened_reports=hardened,
+            diff=diff,
+        )
+
+    def __repr__(self):
+        return (f"Target({self.name!r}, "
+                f"oracle={self.oracle.describe()})")
 
 
 def hardened_elf(result: HardeningResult) -> bytes:
     """Serialize a hardening result to ELF bytes."""
     return write_elf(result.hardened)
-
-
-# ---------------------------------------------------------------------------
-# differential countermeasure evaluation (the paper's Tables III-V loop)
-# ---------------------------------------------------------------------------
 
 
 @dataclass
@@ -214,17 +352,68 @@ class EvaluationResult:
         return "\n".join((self.result.report(), self.diff.table()))
 
 
-def _section_namer(exe: Executable):
-    def name_of(address: int) -> str:
-        section = exe.section_at(address)
-        return section.name if section is not None else "?"
-    return name_of
+# ---------------------------------------------------------------------------
+# deprecated free-function shims (pre-session API)
+# ---------------------------------------------------------------------------
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.api.{old} is deprecated; use {new} "
+        "(see docs/api.md for the migration path)",
+        DeprecationWarning, stacklevel=3)
+
+
+def find_vulnerabilities(image: Union[Executable, bytes],
+                         good_input: bytes,
+                         bad_input: bytes,
+                         grant_marker: Union[Oracle, bytes],
+                         models: Sequence[str] = ("skip", "bitflip"),
+                         name: str = "target",
+                         backend: Union[str, object, None] = None,
+                         checkpoint_interval: Union[int, float,
+                                                    None] = None,
+                         workers: Union[int, None] = None,
+                         k_faults: int = 1,
+                         samples: int = 200,
+                         seed: int = 0,
+                         stream: Union[bool, None] = None,
+                         max_resident_points: Union[int, None] = None
+                         ) -> dict[str, CampaignReport]:
+    """Deprecated shim over :meth:`Target.campaign`
+    (bit-identical reports)."""
+    _deprecated("find_vulnerabilities", "Target.campaign")
+    config = EngineConfig(
+        backend=backend, checkpoint_interval=checkpoint_interval,
+        workers=workers, k_faults=k_faults, samples=samples,
+        seed=seed, stream=stream,
+        max_resident_points=max_resident_points)
+    target = Target(image, good_input, bad_input, grant_marker,
+                    name=name)
+    return target.campaign(models, config)
+
+
+def harden_binary(image: Union[Executable, bytes],
+                  good_input: bytes,
+                  bad_input: bytes,
+                  grant_marker: Union[Oracle, bytes],
+                  approach: str = "faulter+patcher",
+                  fault_models: Sequence[str] = ("skip",),
+                  name: str = "target",
+                  **kwargs) -> HardeningResult:
+    """Deprecated shim over :meth:`Target.harden`
+    (bit-identical results)."""
+    _deprecated("harden_binary", "Target.harden")
+    target = Target(image, good_input, bad_input, grant_marker,
+                    name=name)
+    return target.harden(approach, fault_models=fault_models,
+                         **kwargs)
 
 
 def evaluate_countermeasures(image: Union[Executable, bytes],
                              good_input: bytes,
                              bad_input: bytes,
-                             grant_marker: bytes,
+                             grant_marker: Union[Oracle, bytes],
                              approach: str = "faulter+patcher",
                              models: Sequence[str] = ("skip",),
                              harden_models: Optional[Sequence[str]]
@@ -238,58 +427,15 @@ def evaluate_countermeasures(image: Union[Executable, bytes],
                              max_resident_points: Union[int, None]
                              = None,
                              **harden_kwargs) -> EvaluationResult:
-    """Run the full differential evaluation loop against one binary.
-
-    1. baseline fault campaigns (``models``) against the original,
-    2. harden with ``approach`` (the Fig. 2 loop iterates on the
-       *encoding-family* members of ``harden_models``, default
-       ``("skip",)``; the other approaches harden unconditionally),
-    3. re-fault the hardened binary under the same ``models`` and
-       engine knobs (streaming engine, any backend),
-    4. join both campaigns through the rewrite's provenance map into a
-       :class:`~repro.faulter.report.DifferentialReport` classifying
-       every point as eliminated/surviving/introduced/unmapped.
-
-    State-family models (``reg-bitflip``, ``flag-stuck``,
-    ``mem-bitflip``, ``branch-invert``) are evaluation-only here: the
-    patcher's duplication patterns are designed against fetch faults,
-    so the loop iterates on the encoding members (falling back to
-    ``skip`` when none are given) while steps 1 and 3 campaign under
-    every requested model — which is exactly how one asks whether a
-    countermeasure survives data faults it was never designed for.
-    """
-    exe = _as_executable(image)
-    resolved = resolve_backend(backend, workers=workers,
-                               checkpoint_interval=checkpoint_interval,
-                               stream=stream,
-                               max_resident_points=max_resident_points)
-    baseline_faulter = Faulter(exe, good_input, bad_input, grant_marker,
-                               name=name)
-    baseline = baseline_faulter.run_all(models, backend=resolved)
-
-    if harden_models is None:
-        harden_models = ("skip",)
-    # only the Fig. 2 loop *consumes* fault models while hardening (and
-    # harden_binary restricts it to the encoding family); for the
-    # other approaches they would merely duplicate step 3
-    fault_models = (harden_models if approach == "faulter+patcher"
-                    else ())
-    result = harden_binary(exe, good_input, bad_input, grant_marker,
-                           approach=approach, fault_models=fault_models,
-                           name=name, **harden_kwargs)
-
-    hardened_faulter = Faulter(result.hardened, good_input, bad_input,
-                               grant_marker, name=f"{name}-hardened")
-    hardened = hardened_faulter.run_all(models, backend=resolved)
-
-    diff = differential_report(
-        baseline, hardened, result.provenance, target=name,
-        section_of_original=_section_namer(exe),
-        section_of_rewritten=_section_namer(result.hardened))
-    return EvaluationResult(
-        approach=approach,
-        result=result,
-        baseline_reports=baseline,
-        hardened_reports=hardened,
-        diff=diff,
-    )
+    """Deprecated shim over :meth:`Target.evaluate`
+    (bit-identical reports)."""
+    _deprecated("evaluate_countermeasures", "Target.evaluate")
+    config = EngineConfig(
+        backend=backend, checkpoint_interval=checkpoint_interval,
+        workers=workers, stream=stream,
+        max_resident_points=max_resident_points)
+    target = Target(image, good_input, bad_input, grant_marker,
+                    name=name)
+    return target.evaluate(approach=approach, models=models,
+                           config=config, harden_models=harden_models,
+                           **harden_kwargs)

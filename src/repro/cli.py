@@ -2,22 +2,31 @@
 
 Subcommands::
 
-    r2r fault   TARGET.elf --good HEX --bad HEX --marker TEXT [--model M]
-                [--backend B] [--checkpoint-interval N] [--workers W]
-                [--k-faults K] [--samples S] [--seed SEED]
-                [--stream | --no-stream] [--max-resident-points N]
-    r2r harden  TARGET.elf -o OUT.elf
-                --approach {faulter+patcher,hybrid,detour} [--evaluate]
-    r2r compare TARGET --approach ... [--model M] [engine knobs]
-    r2r demo    {pincheck,bootloader} --approach ...
+    r2r fault   TARGET.elf --good HEX --bad HEX --marker TEXT
+                [--model M] [engine knobs] [--k-faults K]
+                [--samples S] [--seed SEED]
+    r2r harden  TARGET.elf -o OUT.elf --approach A
+                [--evaluate [engine knobs]]
+    r2r compare TARGET --approach A [--model M] [engine knobs]
+    r2r demo    {pincheck,bootloader} --approach A
     r2r run     TARGET.elf [--stdin HEX]
     r2r disasm  TARGET.elf
 
+The engine knobs — ``--backend``, ``--checkpoint-interval``,
+``--workers``, ``--stream/--no-stream``, ``--max-resident-points`` —
+are declared once in a shared parent parser and map onto one
+:class:`~repro.api.EngineConfig`; ``--approach`` choices derive from
+the :data:`repro.hardening.HARDENING_APPROACHES` registry and
+``--model`` choices from the fault-model registry, so registered
+third-party approaches and models surface on every subcommand without
+touching this module.
+
 Inputs are passed as hex strings (``--good 31323334``) or with a
 ``text:`` prefix (``--good text:1234``).  ``compare`` (and only
-``compare``) also accepts a bundled workload name
-(``pincheck``/``bootloader``/``corpus``) as TARGET, in which case the
-workload's own campaign inputs are used.
+``compare``) also accepts a bundled workload name (``pincheck``/
+``bootloader``/``corpus``/``exitgate``) as TARGET, in which case the
+workload's own campaign inputs *and oracle* are used — ``exitgate``
+runs the whole differential loop under an exit-code oracle.
 """
 
 from __future__ import annotations
@@ -26,17 +35,14 @@ import argparse
 import os
 import sys
 
-from repro.api import (
-    evaluate_countermeasures,
-    find_vulnerabilities,
-    harden_binary,
-    hardened_elf,
-)
+from repro.api import EngineConfig, Target, hardened_elf
 from repro.binfmt.reader import read_elf
 from repro.disasm import disassemble, pretty_print
 from repro.emu.machine import run_executable
 from repro.errors import ReproError
+from repro.faulter.engine import BACKENDS
 from repro.faulter.models import MODELS
+from repro.hardening import HARDENING_APPROACHES
 from repro.workloads import bootloader, corpus, pincheck
 
 # --model choices come from the model registry, so new fault models
@@ -47,6 +53,7 @@ WORKLOADS = {
     "pincheck": pincheck.workload,
     "bootloader": bootloader.workload,
     "corpus": corpus.workload,
+    "exitgate": corpus.exitgate_workload,
 }
 
 
@@ -61,16 +68,104 @@ def _load(path: str):
         return read_elf(handle.read())
 
 
-def _resolve_compare_target(args):
-    """(exe, good, bad, marker, name) for a path or a bundled name."""
+class _AppendOverDefault(argparse.Action):
+    """``append`` that *replaces* the parser-declared default.
+
+    Lets the parser own the ``--model`` default (no post-parse
+    patching in ``main``) without the classic argparse gotcha of
+    appending onto the default list.
+    """
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        current = getattr(namespace, self.dest, None)
+        if current is None or current is self.default:
+            current = []
+            setattr(namespace, self.dest, current)
+        current.append(values)
+
+
+def _model_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--model", action=_AppendOverDefault,
+                        default=["skip"], choices=MODEL_CHOICES,
+                        help="fault model(s), repeatable "
+                             "(default: skip)")
+    return parent
+
+
+def _campaign_parent(required: bool) -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--good", required=required,
+                        help="good input (hex or text:...)")
+    parent.add_argument("--bad", required=required,
+                        help="bad input (hex or text:...)")
+    parent.add_argument("--marker", required=required,
+                        help="stdout marker of the privileged "
+                             "behaviour")
+    return parent
+
+
+def _engine_parent() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("engine knobs")
+    group.add_argument("--backend", default=None,
+                       choices=sorted(BACKENDS),
+                       help="campaign execution backend "
+                            "(default: sequential)")
+    group.add_argument("--checkpoint-interval", type=int, default=None,
+                       help="snapshot the master trace every N steps "
+                            "and replay faults from the nearest "
+                            "checkpoint (<= 0: single step-0 "
+                            "checkpoint)")
+    group.add_argument("--workers", type=int, default=None,
+                       help="process count for --backend multiprocess")
+    group.add_argument("--stream", default=None,
+                       action=argparse.BooleanOptionalAction,
+                       help="stream the fault space through a bounded "
+                            "reorder window instead of materializing "
+                            "it (default: on; --no-stream forces the "
+                            "materialized path)")
+    group.add_argument("--max-resident-points", type=int, default=None,
+                       help="streaming reorder-window size: the peak "
+                            "number of fault points held in memory "
+                            "at once")
+    return parent
+
+
+def _engine_config(args) -> EngineConfig:
+    """One EngineConfig from the shared engine flags (validating)."""
+    return EngineConfig(
+        backend=args.backend,
+        checkpoint_interval=args.checkpoint_interval,
+        workers=args.workers,
+        k_faults=getattr(args, "k_faults", 1),
+        samples=getattr(args, "samples", 200),
+        seed=getattr(args, "seed", 0),
+        stream=args.stream,
+        max_resident_points=args.max_resident_points)
+
+
+def _file_target(args) -> Target:
+    """Target for a subcommand taking an ELF path plus inputs."""
+    return Target(_load(args.target), _decode_input(args.good),
+                  _decode_input(args.bad), args.marker.encode(),
+                  name=args.target)
+
+
+def _resolve_compare_target(args) -> Target:
+    """Target for an ELF path or a bundled workload name."""
     if args.target in WORKLOADS and not os.path.exists(args.target):
         wl = WORKLOADS[args.target]()
         good = (_decode_input(args.good) if args.good
                 else wl.good_input)
         bad = _decode_input(args.bad) if args.bad else wl.bad_input
-        marker = (args.marker.encode() if args.marker
-                  else wl.grant_marker)
-        return wl.build(), good, bad, marker, wl.name
+        if args.marker:
+            oracle = args.marker.encode()
+        elif wl.oracle is not None:
+            oracle = wl.oracle
+        else:
+            oracle = wl.grant_marker
+        return Target(wl.build(), good, bad, oracle, name=wl.name)
     missing = [flag for flag, value in (("--good", args.good),
                                         ("--bad", args.bad),
                                         ("--marker", args.marker))
@@ -79,22 +174,13 @@ def _resolve_compare_target(args):
         raise SystemExit(
             f"r2r compare: error: {', '.join(missing)} required "
             f"for file targets")
-    return (_load(args.target), _decode_input(args.good),
-            _decode_input(args.bad), args.marker.encode(), args.target)
+    return _file_target(args)
 
 
 def _cmd_fault(args) -> int:
     try:
-        reports = find_vulnerabilities(
-            _load(args.target), _decode_input(args.good),
-            _decode_input(args.bad), args.marker.encode(),
-            models=args.model, name=args.target,
-            backend=args.backend,
-            checkpoint_interval=args.checkpoint_interval,
-            workers=args.workers, k_faults=args.k_faults,
-            samples=args.samples, seed=args.seed,
-            stream=args.stream,
-            max_resident_points=args.max_resident_points)
+        config = _engine_config(args)
+        reports = _file_target(args).campaign(args.model, config)
     except ValueError as exc:
         # conflicting engine knobs (exit 2: distinct from "vulnerable")
         print(f"r2r fault: error: {exc}", file=sys.stderr)
@@ -105,20 +191,26 @@ def _cmd_fault(args) -> int:
 
 
 def _cmd_harden(args) -> int:
+    try:
+        config = _engine_config(args)
+        if not args.evaluate and config != EngineConfig():
+            # the knobs drive the evaluation campaigns; a plain harden
+            # would silently drop them — refuse instead
+            raise ValueError("engine knobs require --evaluate")
+    except ValueError as exc:
+        # conflicting engine knobs (exit 2: distinct from failures)
+        print(f"r2r harden: error: {exc}", file=sys.stderr)
+        return 2
+    target = _file_target(args)
     if args.evaluate:
-        evaluation = evaluate_countermeasures(
-            _load(args.target), _decode_input(args.good),
-            _decode_input(args.bad), args.marker.encode(),
+        evaluation = target.evaluate(
             approach=args.approach, models=args.model,
-            harden_models=args.model, name=args.target)
+            config=config, harden_models=args.model)
         print(evaluation.report())
         result = evaluation.result
     else:
-        result = harden_binary(
-            _load(args.target), _decode_input(args.good),
-            _decode_input(args.bad), args.marker.encode(),
-            approach=args.approach, fault_models=args.model,
-            name=args.target)
+        result = target.harden(approach=args.approach,
+                               fault_models=args.model)
         print(result.report())
     with open(args.output, "wb") as handle:
         handle.write(hardened_elf(result))
@@ -127,16 +219,11 @@ def _cmd_harden(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    exe, good, bad, marker, name = _resolve_compare_target(args)
+    target = _resolve_compare_target(args)
     try:
-        evaluation = evaluate_countermeasures(
-            exe, good, bad, marker,
+        evaluation = target.evaluate(
             approach=args.approach, models=args.model,
-            harden_models=args.model, name=name,
-            backend=args.backend,
-            checkpoint_interval=args.checkpoint_interval,
-            workers=args.workers, stream=args.stream,
-            max_resident_points=args.max_resident_points)
+            config=_engine_config(args), harden_models=args.model)
     except (ValueError, ReproError) as exc:
         # conflicting engine knobs, broken oracles, or a hardening
         # path refusing the binary (exit 2: distinct from "residual
@@ -152,9 +239,8 @@ def _cmd_compare(args) -> int:
 def _cmd_demo(args) -> int:
     wl = (pincheck.workload(rich=args.rich) if args.case == "pincheck"
           else bootloader.workload(rich=args.rich))
-    result = harden_binary(
-        wl.build(), wl.good_input, wl.bad_input, wl.grant_marker,
-        approach=args.approach, fault_models=args.model, name=wl.name)
+    result = wl.target().harden(approach=args.approach,
+                                fault_models=args.model)
     print(result.report())
     if args.output:
         with open(args.output, "wb") as handle:
@@ -186,31 +272,18 @@ def build_parser() -> argparse.ArgumentParser:
                     "fault-injection countermeasures")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    def add_campaign_args(p):
-        p.add_argument("--good", required=True,
-                       help="good input (hex or text:...)")
-        p.add_argument("--bad", required=True,
-                       help="bad input (hex or text:...)")
-        p.add_argument("--marker", required=True,
-                       help="stdout marker of the privileged behaviour")
-        p.add_argument("--model", action="append",
-                       default=None, choices=MODEL_CHOICES,
-                       help="fault model(s); default: skip")
+    # shared flag groups (declared once; see module docstring)
+    model = _model_parent()
+    inputs = _campaign_parent(required=True)
+    inputs_optional = _campaign_parent(required=False)
+    engine = _engine_parent()
+    # --approach choices derive from the registry at parser-build
+    # time, so approaches registered before build_parser() show up
+    approach_choices = sorted(HARDENING_APPROACHES)
 
-    fault = sub.add_parser("fault", help="run fault campaigns")
+    fault = sub.add_parser("fault", help="run fault campaigns",
+                           parents=[inputs, model, engine])
     fault.add_argument("target")
-    add_campaign_args(fault)
-    fault.add_argument("--backend", default=None,
-                       choices=["sequential", "multiprocess"],
-                       help="campaign execution backend "
-                            "(default: sequential)")
-    fault.add_argument("--checkpoint-interval", type=int, default=None,
-                       help="snapshot the master trace every N steps "
-                            "and replay faults from the nearest "
-                            "checkpoint (<= 0: single step-0 "
-                            "checkpoint)")
-    fault.add_argument("--workers", type=int, default=None,
-                       help="process count for --backend multiprocess")
     fault.add_argument("--k-faults", type=int, default=1,
                        help="faults injected per run (k > 1 samples "
                             "k-tuples along the trace)")
@@ -218,70 +291,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sampled runs for --k-faults > 1")
     fault.add_argument("--seed", type=int, default=0,
                        help="sampling seed for --k-faults > 1")
-    fault.add_argument("--stream", default=None,
-                       action=argparse.BooleanOptionalAction,
-                       help="stream the fault space through a bounded "
-                            "reorder window instead of materializing "
-                            "it (default: on; --no-stream forces the "
-                            "materialized path)")
-    fault.add_argument("--max-resident-points", type=int, default=None,
-                       help="streaming reorder-window size: the peak "
-                            "number of fault points held in memory "
-                            "at once")
     fault.set_defaults(func=_cmd_fault)
 
-    harden = sub.add_parser("harden", help="harden a binary")
+    harden = sub.add_parser("harden", help="harden a binary",
+                            parents=[inputs, model, engine])
     harden.add_argument("target")
     harden.add_argument("-o", "--output", required=True)
     harden.add_argument("--approach", default="faulter+patcher",
-                        choices=["faulter+patcher", "hybrid",
-                                 "detour"])
+                        choices=approach_choices)
     harden.add_argument("--evaluate", action="store_true",
                         help="also run the differential evaluation "
                              "loop (baseline campaign, re-fault the "
                              "hardened binary, report eliminated/"
-                             "surviving/introduced/unmapped points)")
-    add_campaign_args(harden)
+                             "surviving/introduced/unmapped points) "
+                             "honouring the engine knobs")
     harden.set_defaults(func=_cmd_harden)
 
     compare = sub.add_parser(
         "compare",
         help="differential countermeasure evaluation: campaign "
              "before/after hardening, joined through the rewrite's "
-             "provenance map")
+             "provenance map",
+        parents=[inputs_optional, model, engine])
     compare.add_argument("target",
                          help="an ELF path, or a bundled workload "
-                              "name (pincheck/bootloader/corpus)")
-    compare.add_argument("--good", help="good input (hex or text:...)")
-    compare.add_argument("--bad", help="bad input (hex or text:...)")
-    compare.add_argument("--marker",
-                         help="stdout marker of the privileged "
-                              "behaviour")
-    compare.add_argument("--model", action="append", default=None,
-                         choices=MODEL_CHOICES,
-                         help="fault model(s); default: skip")
+                              "name (pincheck/bootloader/corpus/"
+                              "exitgate)")
     compare.add_argument("--approach", default="faulter+patcher",
-                         choices=["faulter+patcher", "hybrid",
-                                  "detour"])
-    compare.add_argument("--backend", default=None,
-                         choices=["sequential", "multiprocess"])
-    compare.add_argument("--checkpoint-interval", type=int,
-                         default=None)
-    compare.add_argument("--workers", type=int, default=None)
-    compare.add_argument("--stream", default=None,
-                         action=argparse.BooleanOptionalAction)
-    compare.add_argument("--max-resident-points", type=int,
-                         default=None)
+                         choices=approach_choices)
     compare.set_defaults(func=_cmd_compare)
 
-    demo = sub.add_parser("demo", help="harden a bundled case study")
+    demo = sub.add_parser("demo", help="harden a bundled case study",
+                          parents=[model])
     demo.add_argument("case", choices=["pincheck", "bootloader"])
     demo.add_argument("--approach", default="faulter+patcher",
-                      choices=["faulter+patcher", "hybrid", "detour"])
+                      choices=approach_choices)
     demo.add_argument("--rich", action="store_true",
                       help="use the realistically sized variant")
-    demo.add_argument("--model", action="append", default=None,
-                      choices=MODEL_CHOICES)
     demo.add_argument("-o", "--output")
     demo.set_defaults(func=_cmd_demo)
 
@@ -302,9 +348,6 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "model", None) is None and \
-            hasattr(args, "model"):
-        args.model = ["skip"]
     return args.func(args)
 
 

@@ -333,10 +333,14 @@ class DetourResult:
 def detour_harden(exe: Executable,
                   good_input: bytes,
                   bad_input: bytes,
-                  grant_marker: bytes,
+                  grant_marker,
                   name: str = "target",
                   models=()) -> DetourResult:
     """Duplication-via-detours hardening with behaviour validation.
+
+    ``grant_marker`` accepts raw marker ``bytes`` or any
+    :class:`~repro.faulter.oracle.Oracle` (consumed by the optional
+    ``models`` re-fault campaigns; validation compares behaviour).
 
     ``models`` optionally re-runs fault campaigns against the hardened
     binary (reported in ``final_reports``), mirroring the other two

@@ -65,6 +65,10 @@ class RunResult:
     steps: int = 0
     crash_detail: str = ""
     trace: list[int] = field(default_factory=list)
+    # watched guest memory, captured at run end for memory-predicate
+    # oracles: {(address, size): bytes}; ranges that were unmapped
+    # when the run finished are simply absent
+    memory: dict = field(default_factory=dict)
 
     @property
     def crashed(self) -> bool:
@@ -249,7 +253,8 @@ class Machine:
             fault_intercept: Optional[FaultIntercept] = None,
             fault_plan: Optional[dict] = None,
             checkpoint_interval: int | float = 0,
-            checkpoint_sink: Optional[list] = None) -> RunResult:
+            checkpoint_sink: Optional[list] = None,
+            watches: tuple = ()) -> RunResult:
         """Run until exit/halt/crash or ``max_steps``.
 
         ``fault_plan`` maps dynamic instruction indices (0-based) to
@@ -267,6 +272,11 @@ class Machine:
         is positive, a :class:`Checkpoint` is appended before executing
         step 0 and every ``checkpoint_interval`` steps thereafter
         (``math.inf`` keeps only the step-0 checkpoint).
+
+        ``watches`` is a tuple of ``(address, size)`` guest ranges to
+        capture (permission-blind) into ``RunResult.memory`` when the
+        run finishes — however it finishes — so memory-predicate
+        oracles can classify the end state.
         """
         cpu = self.cpu
         trace: list[int] = []
@@ -318,12 +328,26 @@ class Machine:
             steps=steps,
             crash_detail=detail,
             trace=trace,
+            memory=self._capture_watches(watches),
         )
+
+    def _capture_watches(self, watches: tuple) -> dict:
+        """Permission-blind reads of the watched ranges (run end)."""
+        captured: dict = {}
+        for address, size in watches or ():
+            try:
+                captured[(address, size)] = self.memory.peek(
+                    address, size)
+            except EmulationError:
+                pass  # unmapped at run end: the oracle sees no value
+        return captured
 
 
 def run_executable(image: Executable | bytes, stdin: bytes = b"",
                    max_steps: int = DEFAULT_MAX_STEPS,
-                   record_trace: bool = False) -> RunResult:
+                   record_trace: bool = False,
+                   watches: tuple = ()) -> RunResult:
     """One-shot convenience: load ``image`` and run it."""
     machine = Machine(image, stdin=stdin)
-    return machine.run(max_steps=max_steps, record_trace=record_trace)
+    return machine.run(max_steps=max_steps, record_trace=record_trace,
+                       watches=watches)

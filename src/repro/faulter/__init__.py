@@ -36,11 +36,22 @@ from repro.faulter.engine import (
     BACKENDS,
     DEFAULT_MAX_RESIDENT,
     CampaignEngine,
+    EngineConfig,
     ExecutionBackend,
     ExecutionStats,
     MultiprocessBackend,
     SequentialBackend,
     backend_by_name,
+)
+from repro.faulter.oracle import (
+    AllOf,
+    AnyOf,
+    ExitCodeOracle,
+    MarkerOracle,
+    MemoryPredicateOracle,
+    Oracle,
+    coerce_oracle,
+    oracle_from_dict,
 )
 from repro.faulter.parallel import run_parallel_campaign
 from repro.faulter.report import (
@@ -80,11 +91,20 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_MAX_RESIDENT",
     "CampaignEngine",
+    "EngineConfig",
     "ExecutionBackend",
     "ExecutionStats",
     "MultiprocessBackend",
     "SequentialBackend",
     "backend_by_name",
+    "Oracle",
+    "MarkerOracle",
+    "ExitCodeOracle",
+    "MemoryPredicateOracle",
+    "AllOf",
+    "AnyOf",
+    "coerce_oracle",
+    "oracle_from_dict",
     "run_parallel_campaign",
     "CampaignReport",
     "CampaignReportBuilder",

@@ -18,6 +18,13 @@ The paper forks each fault simulation; we snapshot CPU/IO state and
 journal memory writes at the fault point instead, replaying only the
 suffix of the trace for each fault (see ``repro.emu.memory``).
 
+The "privileged behaviour appeared" decision is delegated to a
+pluggable :class:`~repro.faulter.oracle.Oracle` — a raw ``bytes``
+marker still works everywhere (it coerces to the default
+:class:`~repro.faulter.oracle.MarkerOracle`), but exit-code and
+memory-predicate oracles open workloads whose grant path never
+prints.
+
 All campaign flavors route through the unified engine
 (:mod:`repro.faulter.engine`): a campaign is a
 :class:`~repro.faulter.space.FaultSpace` executed on an
@@ -34,6 +41,7 @@ from repro.emu.machine import Machine, RunResult
 from repro.errors import ReproError
 from repro.faulter.engine import CampaignEngine, resolve_backend
 from repro.faulter.models import FaultModel
+from repro.faulter.oracle import MarkerOracle, Oracle, coerce_oracle
 from repro.faulter.report import (
     CRASHED,
     IGNORED,
@@ -41,7 +49,6 @@ from repro.faulter.report import (
     CampaignReport,
     Fault,
     FaultOutcome,
-    classify_result,
 )
 from repro.faulter.space import (
     ExhaustiveSpace,
@@ -67,7 +74,7 @@ class Faulter:
         image: Executable | bytes,
         good_input: bytes,
         bad_input: bytes,
-        grant_marker: bytes,
+        oracle: Oracle | bytes,
         name: str = "target",
         max_steps: int = 100_000,
         baselines: Optional[tuple[RunResult, RunResult]] = None,
@@ -75,7 +82,13 @@ class Faulter:
         self.image = image
         self.good_input = good_input
         self.bad_input = bad_input
-        self.grant_marker = grant_marker
+        self.oracle = coerce_oracle(oracle)
+        # historical attribute, kept for callers that introspect the
+        # marker; None when the detector is not a marker check
+        self.grant_marker = (self.oracle.marker
+                             if isinstance(self.oracle, MarkerOracle)
+                             else None)
+        self.watches = self.oracle.watches()
         self.name = name
         self.max_steps = max_steps
         self._trace: Optional[list[int]] = None
@@ -94,24 +107,26 @@ class Faulter:
         )
 
     def _validate_baseline(self):
-        good = self._run(self.good_input)
-        bad = self._run(self.bad_input)
-        if self.grant_marker not in good.stdout:
+        good = self._run(self.good_input, watches=self.watches)
+        bad = self._run(self.bad_input, watches=self.watches)
+        if self.classify(good) != SUCCESS:
             raise ReproError(
-                f"{self.name}: good input does not produce the marker "
-                f"{self.grant_marker!r} (stdout={good.stdout!r})"
+                f"{self.name}: good input does not produce the "
+                f"privileged behaviour under {self.oracle.describe()} "
+                f"({good})"
             )
-        if self.grant_marker in bad.stdout:
+        if self.classify(bad) == SUCCESS:
             raise ReproError(
-                f"{self.name}: bad input already produces the marker — "
-                "nothing to protect"
+                f"{self.name}: bad input already produces the "
+                f"privileged behaviour under "
+                f"{self.oracle.describe()} — nothing to protect"
             )
         self.good_baseline = good
         self.bad_baseline = bad
 
     def classify(self, result) -> str:
         """Map a faulted run onto the paper's three outcome classes."""
-        return classify_result(result, self.grant_marker)
+        return self.oracle.classify(result)
 
     @property
     def continuation_cap(self) -> int:

@@ -60,7 +60,6 @@ from repro.faulter.report import (
     CampaignReport,
     CampaignReportBuilder,
     Fault,
-    classify_result,
 )
 from repro.faulter.space import (
     SUFFIX_CAP,
@@ -193,6 +192,7 @@ class _MasterWalkExecutor:
         machine = self._machine
         classify = self._faulter.classify
         cap = self._faulter.continuation_cap
+        watches = getattr(self._faulter, "watches", ())
         results: list[PointOutcome] = []
         index = 0
         while index < len(ordered):
@@ -210,7 +210,11 @@ class _MasterWalkExecutor:
                 state = machine.snapshot()
                 machine.memory.journal_begin()
                 try:
-                    result = machine.run(max_steps=budget, fault_plan=plan)
+                    result = machine.run(
+                        max_steps=budget,
+                        fault_plan=plan,
+                        watches=watches,
+                    )
                 finally:
                     machine.memory.journal_rollback()
                     machine.restore(state)
@@ -330,6 +334,7 @@ class _CheckpointReplayExecutor:
         machine = self._machine
         classify = self._faulter.classify
         cap = self._faulter.continuation_cap
+        watches = getattr(self._faulter, "watches", ())
         results: list[PointOutcome] = []
         for point in ordered:
             base = machine.restore_checkpoint(
@@ -340,7 +345,11 @@ class _CheckpointReplayExecutor:
                 budget = (point.first_step - base) + cap
             else:
                 budget = max(1, cap - base)
-            result = machine.run(max_steps=budget, fault_plan=plan)
+            result = machine.run(
+                max_steps=budget,
+                fault_plan=plan,
+                watches=watches,
+            )
             stats.emulated_steps += result.steps
             results.append((point, classify(result)))
         return results
@@ -466,25 +475,27 @@ class _WorkerTarget:
     """Duck-typed stand-in for a Faulter inside a pool worker.
 
     Carries only the probe's validated baseline — the continuation cap
-    and grant marker — so workers never re-run the oracle.
+    and the (pickled) fault-detection oracle — so workers never re-run
+    the baseline validation.
     """
 
     def __init__(
         self,
         image,
         bad_input: bytes,
-        grant_marker: bytes,
+        oracle,
         continuation_cap: int,
         max_steps: int,
     ):
         self.image = image
         self.bad_input = bad_input
-        self.grant_marker = grant_marker
+        self.oracle = oracle
+        self.watches = oracle.watches()
         self.continuation_cap = continuation_cap
         self.max_steps = max_steps
 
     def classify(self, result) -> str:
-        return classify_result(result, self.grant_marker)
+        return self.oracle.classify(result)
 
 
 # Per-process memo for pool workers: re-deriving the trace and space
@@ -528,7 +539,7 @@ def _worker(job) -> tuple[list[PointOutcome], int, int]:
     (
         elf_bytes,
         bad_input,
-        grant_marker,
+        oracle,
         model_name,
         continuation_cap,
         partition,
@@ -543,7 +554,7 @@ def _worker(job) -> tuple[list[PointOutcome], int, int]:
     target = _WorkerTarget(
         image,
         bad_input,
-        grant_marker,
+        oracle,
         continuation_cap,
         master_max_steps,
     )
@@ -628,7 +639,7 @@ class MultiprocessBackend(ExecutionBackend):
             (
                 elf_bytes,
                 faulter.bad_input,
-                faulter.grant_marker,
+                faulter.oracle,
                 model.name,
                 faulter.continuation_cap,
                 partition,
@@ -735,6 +746,118 @@ def resolve_backend(
                 "alongside a backend instance"
             )
     return backend
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Declarative engine configuration: every campaign knob, once.
+
+    Replaces the ``backend``/``checkpoint_interval``/``workers``/
+    ``k_faults``/``stream``/``max_resident_points`` parameter sprawl
+    that every API entry point used to re-declare.  Validation happens
+    at *construction* (not inside ``resolve_backend`` at campaign
+    time), so a bad combination fails where it is written; ``resolve``
+    turns the config into a concrete :class:`ExecutionBackend`.
+
+    ``backend`` may name a registered backend (``"sequential"``/
+    ``"multiprocess"``), be ``None`` (pick by the other knobs), or —
+    for programmatic callers — an :class:`ExecutionBackend` instance,
+    which owns its own knobs (and makes the config non-serializable).
+    ``to_dict``/``from_dict`` roundtrip losslessly, including an
+    infinite checkpoint interval (JSON-safe as ``"inf"``).
+    """
+
+    backend: object = None
+    checkpoint_interval: int | float | None = None
+    workers: Optional[int] = None
+    k_faults: int = 1
+    samples: int = 200
+    seed: int = 0
+    stream: Optional[bool] = None
+    max_resident_points: Optional[int] = None
+
+    def __post_init__(self):
+        backend = self.backend
+        declarative = backend is None or isinstance(backend, str)
+        if isinstance(backend, str) and backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; known: "
+                f"{sorted(BACKENDS)}")
+        if not declarative and not isinstance(backend,
+                                              ExecutionBackend):
+            raise ValueError(
+                "backend must be None, a registered backend name, or "
+                f"an ExecutionBackend instance, got {backend!r}")
+        if self.workers is not None:
+            if self.workers < 1:
+                raise ValueError(
+                    f"workers must be >= 1, got {self.workers}")
+            if (isinstance(backend, str)
+                    and BACKENDS[backend] is not MultiprocessBackend):
+                raise ValueError(
+                    "workers= only applies to the multiprocess "
+                    f"backend, not {backend!r}")
+        if self.k_faults < 1:
+            raise ValueError(
+                f"k_faults must be >= 1, got {self.k_faults}")
+        if self.samples < 1:
+            raise ValueError(
+                f"samples must be >= 1, got {self.samples}")
+        if self.max_resident_points is not None:
+            if self.stream is False:
+                raise ValueError(
+                    "max_resident_points= requires streaming "
+                    "execution (stream=True)")
+            if self.max_resident_points < 1:
+                raise ValueError(
+                    "max_resident_points must be >= 1, got "
+                    f"{self.max_resident_points}")
+
+    def resolve(self) -> ExecutionBackend:
+        """Concrete backend for this configuration."""
+        return resolve_backend(
+            self.backend,
+            workers=self.workers,
+            checkpoint_interval=self.checkpoint_interval,
+            stream=self.stream,
+            max_resident_points=self.max_resident_points,
+        )
+
+    def to_dict(self) -> dict:
+        if self.backend is not None and not isinstance(self.backend,
+                                                       str):
+            raise ValueError(
+                "an EngineConfig carrying a backend *instance* is "
+                "not serializable; name the backend instead")
+        interval = self.checkpoint_interval
+        if interval is not None and math.isinf(interval):
+            interval = "inf"  # keep the payload strictly JSON-safe
+        return {
+            "backend": self.backend,
+            "checkpoint_interval": interval,
+            "workers": self.workers,
+            "k_faults": self.k_faults,
+            "samples": self.samples,
+            "seed": self.seed,
+            "stream": self.stream,
+            "max_resident_points": self.max_resident_points,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "EngineConfig":
+        interval = payload.get("checkpoint_interval")
+        if interval == "inf":
+            interval = math.inf
+        return cls(
+            backend=payload.get("backend"),
+            checkpoint_interval=interval,
+            workers=payload.get("workers"),
+            k_faults=payload.get("k_faults", 1),
+            samples=payload.get("samples", 200),
+            seed=payload.get("seed", 0),
+            stream=payload.get("stream"),
+            max_resident_points=payload.get("max_resident_points"),
+        )
 
 
 class CampaignEngine:

@@ -1,0 +1,293 @@
+"""Fault-detection oracles.
+
+An :class:`Oracle` decides what a finished guest run *means*: it
+classifies a :class:`~repro.emu.machine.RunResult` into the campaign
+outcome vocabulary (``success``/``crash``/``ignored`` — Section
+IV-B.1's three classes).  The paper hardwires one detector — "the
+privileged marker appeared on stdout under a bad input" — but the
+attacker's success predicate is really a parameter of the whole
+methodology (Boespflug et al. treat it as a first-class, swappable
+predicate), so the faulter, the campaign engine, and the differential
+evaluation all consume an oracle instead of a baked-in marker check.
+
+Built-in oracles:
+
+* :class:`MarkerOracle` — the historical behaviour (and the default
+  whenever a raw ``bytes`` marker is passed where an oracle is
+  expected): success iff the marker substring appears on stdout.
+* :class:`ExitCodeOracle` — success iff the run *exits* (no crash,
+  no step-budget exhaustion) with the grant exit code; opens
+  workloads whose privileged path is silent.
+* :class:`MemoryPredicateOracle` — success iff a watched guest
+  memory range holds an expected value (or satisfies a predicate)
+  when the run finishes.  Declares the watch via :meth:`watches`;
+  the machine captures the range into ``RunResult.memory``.
+* :class:`AllOf` / :class:`AnyOf` — composites over other oracles.
+
+Oracles are stateless, picklable (they cross process boundaries with
+multiprocess campaigns) and — except for callable predicates —
+losslessly serializable through ``to_dict``/:func:`oracle_from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.emu.machine import EXIT
+from repro.faulter.report import CRASHED, IGNORED, SUCCESS
+
+# (guest address, size) ranges an oracle wants captured at run end
+Watch = tuple[int, int]
+
+# registered oracle kinds, for deserialization
+ORACLE_KINDS: dict[str, type] = {}
+
+
+def register_oracle_kind(cls: type) -> type:
+    """Class decorator: make ``cls`` reachable from
+    :func:`oracle_from_dict`."""
+    ORACLE_KINDS[cls.kind] = cls
+    return cls
+
+
+class Oracle:
+    """Protocol: classify a finished run into an outcome class."""
+
+    kind = "abstract"
+
+    def classify(self, result) -> str:
+        """Map ``result`` onto ``success``/``crash``/``ignored``.
+
+        ``result`` is duck-typed — only the :class:`RunResult` fields
+        the oracle consults are required.
+        """
+        raise NotImplementedError
+
+    def watches(self) -> tuple[Watch, ...]:
+        """Guest memory ranges to capture into ``RunResult.memory``."""
+        return ()
+
+    def describe(self) -> str:
+        return self.kind
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Oracle":
+        raise NotImplementedError
+
+    def _fallback(self, result) -> str:
+        """Shared non-success classification: crash beats ignored."""
+        return CRASHED if result.crashed else IGNORED
+
+
+@register_oracle_kind
+@dataclass(frozen=True)
+class MarkerOracle(Oracle):
+    """Success iff ``marker`` appears on stdout (the paper's
+    detector)."""
+
+    marker: bytes
+    kind = "marker"
+
+    def classify(self, result) -> str:
+        if self.marker in result.stdout:
+            return SUCCESS
+        return self._fallback(result)
+
+    def describe(self) -> str:
+        return f"marker({self.marker!r})"
+
+    def to_dict(self) -> dict:
+        # latin-1 maps bytes 0..255 onto code points 0..255 losslessly
+        return {"kind": self.kind,
+                "marker": self.marker.decode("latin-1")}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MarkerOracle":
+        return cls(marker=payload["marker"].encode("latin-1"))
+
+
+@register_oracle_kind
+@dataclass(frozen=True)
+class ExitCodeOracle(Oracle):
+    """Success iff the run exits cleanly with ``grant_code``.
+
+    Crashes and step-budget exhaustion never count as a grant, even
+    when the nominal code matches — the attacker needs the privileged
+    *exit*, not a wreck that happens to share a number.
+    """
+
+    grant_code: int = 0
+    kind = "exit-code"
+
+    def classify(self, result) -> str:
+        if result.reason == EXIT and result.exit_code == self.grant_code:
+            return SUCCESS
+        return self._fallback(result)
+
+    def describe(self) -> str:
+        return f"exit-code({self.grant_code})"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "grant_code": self.grant_code}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExitCodeOracle":
+        return cls(grant_code=payload["grant_code"])
+
+
+@register_oracle_kind
+@dataclass(frozen=True)
+class MemoryPredicateOracle(Oracle):
+    """Success iff a watched memory range satisfies a predicate.
+
+    The range ``(address, size)`` is captured into
+    ``RunResult.memory`` when the run finishes (see
+    ``Machine.run(watches=...)``); classification then tests either
+    ``equals`` (byte equality — serializable) or ``predicate`` (an
+    arbitrary ``bytes -> bool`` callable — not serializable, and only
+    picklable when defined at module level).  Exactly one of the two
+    must be given.  A run that never produced the capture (e.g. the
+    range was unmapped) can never be a success.
+    """
+
+    address: int
+    size: int
+    equals: Optional[bytes] = None
+    predicate: Optional[Callable[[bytes], bool]] = None
+    kind = "memory"
+
+    def __post_init__(self):
+        if (self.equals is None) == (self.predicate is None):
+            raise ValueError(
+                "MemoryPredicateOracle needs exactly one of equals= "
+                "or predicate=")
+        if self.size < 1:
+            raise ValueError(f"watch size must be >= 1, got {self.size}")
+
+    def watches(self) -> tuple[Watch, ...]:
+        return ((self.address, self.size),)
+
+    def classify(self, result) -> str:
+        observed = getattr(result, "memory", {}).get(
+            (self.address, self.size))
+        if observed is not None:
+            if self.predicate is not None:
+                hit = bool(self.predicate(observed))
+            else:
+                hit = observed == self.equals
+            if hit:
+                return SUCCESS
+        return self._fallback(result)
+
+    def describe(self) -> str:
+        what = (f"=={self.equals!r}" if self.equals is not None
+                else "predicate")
+        return f"memory({self.address:#x}+{self.size} {what})"
+
+    def to_dict(self) -> dict:
+        if self.predicate is not None:
+            raise ValueError(
+                "a callable-predicate MemoryPredicateOracle is not "
+                "serializable; use equals= for to_dict support")
+        return {"kind": self.kind, "address": self.address,
+                "size": self.size,
+                "equals": self.equals.decode("latin-1")}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MemoryPredicateOracle":
+        return cls(address=payload["address"], size=payload["size"],
+                   equals=payload["equals"].encode("latin-1"))
+
+
+class _Composite(Oracle):
+    """Shared machinery for AllOf/AnyOf."""
+
+    def __init__(self, *oracles: Oracle):
+        if not oracles:
+            raise ValueError(f"{type(self).__name__} needs at least "
+                             "one child oracle")
+        self.oracles = tuple(coerce_oracle(o) for o in oracles)
+
+    def watches(self) -> tuple[Watch, ...]:
+        seen: list[Watch] = []
+        for oracle in self.oracles:
+            for watch in oracle.watches():
+                if watch not in seen:
+                    seen.append(watch)
+        return tuple(seen)
+
+    def describe(self) -> str:
+        inner = ", ".join(o.describe() for o in self.oracles)
+        return f"{self.kind}({inner})"
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind,
+                "oracles": [o.to_dict() for o in self.oracles]}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "_Composite":
+        return cls(*(oracle_from_dict(entry)
+                     for entry in payload["oracles"]))
+
+    def __eq__(self, other):
+        return (type(other) is type(self)
+                and other.oracles == self.oracles)
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.oracles))
+
+
+@register_oracle_kind
+class AllOf(_Composite):
+    """Success iff *every* child oracle classifies the run a
+    success."""
+
+    kind = "all-of"
+
+    def classify(self, result) -> str:
+        if all(o.classify(result) == SUCCESS for o in self.oracles):
+            return SUCCESS
+        return self._fallback(result)
+
+
+@register_oracle_kind
+class AnyOf(_Composite):
+    """Success iff *any* child oracle classifies the run a success."""
+
+    kind = "any-of"
+
+    def classify(self, result) -> str:
+        if any(o.classify(result) == SUCCESS for o in self.oracles):
+            return SUCCESS
+        return self._fallback(result)
+
+
+def coerce_oracle(value) -> Oracle:
+    """Coerce ``value`` into an :class:`Oracle`.
+
+    Raw ``bytes`` become a :class:`MarkerOracle` — the historical
+    ``grant_marker`` parameter keeps working everywhere an oracle is
+    now expected.
+    """
+    if isinstance(value, Oracle):
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return MarkerOracle(marker=bytes(value))
+    raise TypeError(
+        f"expected an Oracle or a bytes grant marker, got "
+        f"{type(value).__name__}")
+
+
+def oracle_from_dict(payload: dict) -> Oracle:
+    """Rebuild an oracle serialized with ``Oracle.to_dict``."""
+    kind = payload.get("kind")
+    cls = ORACLE_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown oracle kind {kind!r}; known: "
+            f"{sorted(ORACLE_KINDS)}")
+    return cls.from_dict(payload)

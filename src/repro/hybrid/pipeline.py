@@ -98,13 +98,17 @@ class HybridResult:
 def hybrid_harden(exe: Executable,
                   good_input: bytes,
                   bad_input: bytes,
-                  grant_marker: bytes,
+                  grant_marker,
                   name: str = "target",
                   models: Sequence[str] = (),
                   uid_seed: int = 0x9E3779B9,
                   branch_filter=None,
                   fold_constants: bool = True) -> HybridResult:
     """Lift, harden conditional branches, lower, validate.
+
+    ``grant_marker`` accepts raw marker ``bytes`` or any
+    :class:`~repro.faulter.oracle.Oracle` (consumed by the optional
+    ``models`` re-fault campaigns; validation compares behaviour).
 
     ``models`` optionally re-runs fault campaigns against the hardened
     binary (reported in ``final_reports``).  ``fold_constants`` lets the

@@ -146,13 +146,19 @@ class HardenResult:
 
 
 class FaulterPatcherLoop:
-    """Drives the iterative, simulation-guided hardening of one binary."""
+    """Drives the iterative, simulation-guided hardening of one binary.
+
+    ``grant_marker`` is the fault-detection oracle: raw ``bytes`` keep
+    the historical stdout-marker check, and any
+    :class:`~repro.faulter.oracle.Oracle` swaps in a different
+    success predicate for the loop's campaigns.
+    """
 
     def __init__(self,
                  exe: Executable,
                  good_input: bytes,
                  bad_input: bytes,
-                 grant_marker: bytes,
+                 grant_marker,
                  models: Sequence[str] = ("skip",),
                  max_iterations: int = 8,
                  symbolization: str = "refined",

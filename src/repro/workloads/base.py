@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.asm import assemble
 from repro.binfmt.image import Executable
@@ -13,9 +14,13 @@ class Workload:
     """A guest program plus the faulter's campaign inputs.
 
     ``good_input`` drives the authorized behaviour, ``bad_input`` the
-    rejected one; ``grant_marker`` is the stdout substring that only the
-    authorized path prints (the paper's "unwanted behaviour" detector
-    when it shows up under a bad input).
+    rejected one; ``grant_marker`` is the stdout substring that only
+    the authorized path prints (the paper's "unwanted behaviour"
+    detector when it shows up under a bad input).  Workloads whose
+    grant path is not marker-detectable set ``oracle`` instead — any
+    :class:`~repro.faulter.oracle.Oracle` overrides the marker check
+    (e.g. the corpus ``exitgate`` workload grants only through its
+    exit status).
     """
 
     name: str
@@ -25,7 +30,26 @@ class Workload:
     grant_marker: bytes
     description: str = ""
     extra: dict = field(default_factory=dict)
+    oracle: object = None
 
     def build(self) -> Executable:
         """Assemble and link the workload."""
         return assemble(self.source)
+
+    def target(self, name: Optional[str] = None,
+               exe: Optional[Executable] = None):
+        """Session :class:`~repro.api.Target` for this workload.
+
+        Bundles the built executable with the workload's campaign
+        inputs and its oracle (``oracle`` when set, else the marker
+        check on ``grant_marker``) — the one-call entry into
+        ``campaign``/``harden``/``evaluate``.  Pass ``exe`` to reuse
+        an already-built image instead of assembling again.
+        """
+        from repro.api import Target
+
+        oracle = (self.oracle if self.oracle is not None
+                  else self.grant_marker)
+        return Target(exe if exe is not None else self.build(),
+                      self.good_input, self.bad_input, oracle,
+                      name=name if name is not None else self.name)

@@ -332,3 +332,70 @@ def workload() -> Workload:
         description="two-byte token compare guarding a privileged "
                     "path",
     )
+
+
+# ---------------------------------------------------------------------------
+# campaign-able corpus workload (silent exit-status gate)
+# ---------------------------------------------------------------------------
+
+EXIT_GRANT_CODE = 0
+EXIT_DENY_CODE = 7
+
+EXITGATE = f"""
+# exitgate: the two-byte token unlocks exit({EXIT_GRANT_CODE});
+# anything else exits {EXIT_DENY_CODE}.  Both paths are silent, so
+# the grant is observable only through the exit status — the
+# workload exists to drive campaigns with an ExitCodeOracle instead
+# of the stdout-marker check.
+.equ TOK_LEN, 2
+
+.section .text
+.global _start
+_start:
+    xor rax, rax              # SYS_read the candidate token
+    xor rdi, rdi
+    lea rsi, [rel tok_buf]
+    mov rdx, TOK_LEN
+    syscall
+    cmp rax, TOK_LEN          # short read -> deny
+    jne deny
+    lea rsi, [rel tok_buf]
+    mov al, byte ptr [rsi]
+    cmp al, 'G'
+    jne deny
+    mov al, byte ptr [rsi+1]
+    cmp al, 'O'
+    jne deny
+    mov rax, 60               # grant: exit {EXIT_GRANT_CODE}, silent
+    mov rdi, {EXIT_GRANT_CODE}
+    syscall
+deny:
+    mov rax, 60               # deny: exit {EXIT_DENY_CODE}, silent
+    mov rdi, {EXIT_DENY_CODE}
+    syscall
+
+.section .bss
+tok_buf: .zero 8
+"""
+
+
+def exitgate_workload() -> Workload:
+    """The silent token gate, granting only through its exit status.
+
+    There is no marker to watch — ``oracle`` is an
+    :class:`~repro.faulter.oracle.ExitCodeOracle` on the grant exit
+    code, which is exactly the scenario the pluggable-oracle redesign
+    exists for.
+    """
+    from repro.faulter.oracle import ExitCodeOracle
+
+    return Workload(
+        name="exitgate",
+        source=EXITGATE,
+        good_input=b"GO",
+        bad_input=b"NO",
+        grant_marker=b"",
+        oracle=ExitCodeOracle(EXIT_GRANT_CODE),
+        description="silent two-byte token gate whose grant path is "
+                    "detectable only by exit status",
+    )

@@ -1,0 +1,509 @@
+"""Session API tests: Target/Oracle/EngineConfig, the hardening
+registry, the deprecation shims, and the CLI knob plumbing."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import (
+    APPROACHES, EngineConfig, Target, evaluate_countermeasures,
+    find_vulnerabilities, harden_binary)
+from repro.cli import build_parser, main
+from repro.emu.machine import run_executable
+from repro.faulter.oracle import (
+    AllOf, AnyOf, ExitCodeOracle, MarkerOracle, MemoryPredicateOracle,
+    coerce_oracle, oracle_from_dict)
+from repro.faulter.report import CRASHED, IGNORED, SUCCESS
+from repro.hardening import (
+    HARDENING_APPROACHES, HardeningApproach, approach_by_name,
+    register_approach)
+from repro.workloads import bootloader, corpus, pincheck
+
+WORKLOADS = {"pincheck": pincheck.workload,
+             "bootloader": bootloader.workload}
+
+
+@pytest.fixture(params=sorted(WORKLOADS))
+def wl(request):
+    return WORKLOADS[request.param]()
+
+
+class FakeRun:
+    """Duck-typed RunResult for oracle unit tests."""
+
+    def __init__(self, reason="exit", exit_code=0, stdout=b"",
+                 memory=None):
+        self.reason = reason
+        self.exit_code = exit_code
+        self.stdout = stdout
+        self.memory = memory or {}
+
+    @property
+    def crashed(self):
+        return self.reason in ("crash", "max-steps")
+
+
+# ---------------------------------------------------------------------------
+# deprecation-shim equivalence (acceptance criterion: bit-identical)
+# ---------------------------------------------------------------------------
+
+
+class TestShimEquivalence:
+    def test_campaign_bit_identical(self, wl):
+        new = wl.target().campaign(("skip",))
+        with pytest.deprecated_call():
+            old = find_vulnerabilities(
+                wl.build(), wl.good_input, wl.bad_input,
+                wl.grant_marker, models=("skip",), name=wl.name)
+        assert old.keys() == new.keys()
+        assert old["skip"].to_dict() == new["skip"].to_dict()
+
+    def test_evaluate_bit_identical(self, wl):
+        new = wl.target().evaluate(models=("skip",))
+        with pytest.deprecated_call():
+            old = evaluate_countermeasures(
+                wl.build(), wl.good_input, wl.bad_input,
+                wl.grant_marker, models=("skip",), name=wl.name)
+        assert old.diff.to_dict() == new.diff.to_dict()
+        assert old.to_dict() == new.to_dict()
+
+    def test_harden_shim_equivalent(self):
+        wl = pincheck.workload()
+        new = wl.target().harden(approach="detour")
+        with pytest.deprecated_call():
+            old = harden_binary(
+                wl.build(), wl.good_input, wl.bad_input,
+                wl.grant_marker, approach="detour", name=wl.name)
+        assert old.to_dict() == new.to_dict()
+
+    def test_all_three_shims_warn(self):
+        wl = pincheck.workload()
+        for fn in (find_vulnerabilities, evaluate_countermeasures):
+            with pytest.deprecated_call():
+                fn(wl.build(), wl.good_input, wl.bad_input,
+                   wl.grant_marker, models=("skip",))
+
+
+# ---------------------------------------------------------------------------
+# EngineConfig
+# ---------------------------------------------------------------------------
+
+
+class TestEngineConfig:
+    def test_roundtrip_lossless_and_json_safe(self):
+        config = EngineConfig(
+            backend="multiprocess", checkpoint_interval=64, workers=3,
+            k_faults=2, samples=50, seed=7, stream=True,
+            max_resident_points=128)
+        payload = json.loads(json.dumps(config.to_dict()))
+        assert EngineConfig.from_dict(payload) == config
+
+    def test_roundtrip_infinite_interval(self):
+        config = EngineConfig(checkpoint_interval=math.inf)
+        payload = config.to_dict()
+        assert payload["checkpoint_interval"] == "inf"
+        json.dumps(payload)  # strictly JSON-safe
+        assert EngineConfig.from_dict(payload) == config
+
+    def test_default_roundtrip(self):
+        assert EngineConfig.from_dict(
+            EngineConfig().to_dict()) == EngineConfig()
+
+    def test_validation_at_construction(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            EngineConfig(backend="quantum")
+        with pytest.raises(ValueError, match="workers"):
+            EngineConfig(backend="sequential", workers=4)
+        with pytest.raises(ValueError, match="streaming"):
+            EngineConfig(stream=False, max_resident_points=16)
+        with pytest.raises(ValueError, match="k_faults"):
+            EngineConfig(k_faults=0)
+        with pytest.raises(ValueError, match="max_resident_points"):
+            EngineConfig(max_resident_points=0)
+
+    def test_backend_instance_not_serializable(self):
+        from repro.faulter.engine import SequentialBackend
+        config = EngineConfig(backend=SequentialBackend())
+        with pytest.raises(ValueError, match="instance"):
+            config.to_dict()
+
+    def test_resolve_picks_multiprocess_for_workers(self):
+        from repro.faulter.engine import MultiprocessBackend
+        backend = EngineConfig(workers=2).resolve()
+        assert isinstance(backend, MultiprocessBackend)
+
+
+# ---------------------------------------------------------------------------
+# oracles
+# ---------------------------------------------------------------------------
+
+
+class TestOracles:
+    def test_marker_classification(self):
+        oracle = MarkerOracle(b"GRANTED")
+        assert oracle.classify(FakeRun(stdout=b"ACCESS GRANTED")) \
+            == SUCCESS
+        assert oracle.classify(FakeRun(stdout=b"DENIED")) == IGNORED
+        assert oracle.classify(
+            FakeRun(reason="crash", stdout=b"DENIED")) == CRASHED
+        # the marker wins even when the run also crashed (historical
+        # classify_result semantics)
+        assert oracle.classify(
+            FakeRun(reason="crash", stdout=b"GRANTED")) == SUCCESS
+
+    def test_exit_code_classification(self):
+        oracle = ExitCodeOracle(0)
+        assert oracle.classify(FakeRun(exit_code=0)) == SUCCESS
+        assert oracle.classify(FakeRun(exit_code=7)) == IGNORED
+        assert oracle.classify(FakeRun(reason="crash")) == CRASHED
+        # max-steps exhaustion with a matching nominal code is a
+        # crash, not a grant
+        assert oracle.classify(
+            FakeRun(reason="max-steps", exit_code=0)) == CRASHED
+
+    def test_memory_predicate_classification(self):
+        oracle = MemoryPredicateOracle(0x1000, 2, equals=b"GO")
+        assert oracle.watches() == ((0x1000, 2),)
+        hit = FakeRun(memory={(0x1000, 2): b"GO"})
+        miss = FakeRun(memory={(0x1000, 2): b"NO"})
+        absent = FakeRun()
+        assert oracle.classify(hit) == SUCCESS
+        assert oracle.classify(miss) == IGNORED
+        assert oracle.classify(absent) == IGNORED
+
+    def test_memory_predicate_callable(self):
+        oracle = MemoryPredicateOracle(
+            0x1000, 1, predicate=lambda data: data[0] & 1 == 1)
+        assert oracle.classify(
+            FakeRun(memory={(0x1000, 1): b"\x03"})) == SUCCESS
+        assert oracle.classify(
+            FakeRun(memory={(0x1000, 1): b"\x02"})) == IGNORED
+        with pytest.raises(ValueError, match="serializable"):
+            oracle.to_dict()
+
+    def test_memory_predicate_needs_exactly_one(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            MemoryPredicateOracle(0x1000, 2)
+        with pytest.raises(ValueError, match="exactly one"):
+            MemoryPredicateOracle(0x1000, 2, equals=b"GO",
+                                  predicate=lambda d: True)
+
+    def test_composites(self):
+        marker = MarkerOracle(b"OK")
+        code = ExitCodeOracle(0)
+        both = AllOf(marker, code)
+        either = AnyOf(marker, code)
+        granted = FakeRun(stdout=b"OK", exit_code=0)
+        half = FakeRun(stdout=b"OK", exit_code=1)
+        neither = FakeRun(stdout=b"NO", exit_code=1)
+        assert both.classify(granted) == SUCCESS
+        assert both.classify(half) == IGNORED
+        assert either.classify(half) == SUCCESS
+        assert either.classify(neither) == IGNORED
+        with pytest.raises(ValueError, match="at least one"):
+            AllOf()
+
+    def test_composite_watches_deduped(self):
+        a = MemoryPredicateOracle(0x1000, 2, equals=b"GO")
+        b = MemoryPredicateOracle(0x1000, 2, equals=b"GO")
+        c = MemoryPredicateOracle(0x2000, 4, equals=b"\0\0\0\0")
+        assert AllOf(a, b, c).watches() == ((0x1000, 2), (0x2000, 4))
+
+    @pytest.mark.parametrize("oracle", [
+        MarkerOracle(b"ACCESS \xff GRANTED"),
+        ExitCodeOracle(42),
+        MemoryPredicateOracle(0x404000, 8, equals=b"\x00\xffsecret"),
+        AllOf(MarkerOracle(b"A"), ExitCodeOracle(0)),
+        AnyOf(MarkerOracle(b"A"),
+              AllOf(ExitCodeOracle(1), MarkerOracle(b"B"))),
+    ])
+    def test_serialization_roundtrip(self, oracle):
+        payload = json.loads(json.dumps(oracle.to_dict()))
+        assert oracle_from_dict(payload) == oracle
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown oracle kind"):
+            oracle_from_dict({"kind": "astrology"})
+
+    def test_coercion(self):
+        assert coerce_oracle(b"MARK") == MarkerOracle(b"MARK")
+        oracle = ExitCodeOracle(3)
+        assert coerce_oracle(oracle) is oracle
+        with pytest.raises(TypeError, match="Oracle"):
+            coerce_oracle(42)
+
+    def test_memory_watch_capture_end_to_end(self):
+        """Machine.run captures watched ranges into RunResult.memory."""
+        wl = corpus.exitgate_workload()
+        exe = wl.build()
+        tok = exe.symbol("tok_buf").value
+        result = run_executable(exe, stdin=b"GO",
+                                watches=((tok, 2),))
+        assert result.memory[(tok, 2)] == b"GO"
+        oracle = MemoryPredicateOracle(tok, 2, equals=b"GO")
+        assert oracle.classify(result) == SUCCESS
+
+
+# ---------------------------------------------------------------------------
+# non-marker oracle campaigns (acceptance criterion)
+# ---------------------------------------------------------------------------
+
+
+class TestExitCodeCampaign:
+    def test_streaming_campaign_finds_vulnerabilities(self):
+        wl = corpus.exitgate_workload()
+        reports = wl.target().campaign(
+            ("skip",), EngineConfig(stream=True))
+        report = reports["skip"]
+        assert report.vulnerable
+        assert report.meta["stream"] is True
+
+    def test_backends_bit_identical_under_exit_oracle(self):
+        """The oracle crosses process boundaries (pickled to
+        workers)."""
+        wl = corpus.exitgate_workload()
+        sequential = wl.target().campaign(("skip",))["skip"]
+        multi = wl.target().campaign(
+            ("skip",),
+            EngineConfig(backend="multiprocess", workers=2))["skip"]
+        seq = sequential.to_dict()
+        par = multi.to_dict()
+        seq.pop("meta"), par.pop("meta")  # backends differ, rows not
+        assert seq == par
+
+    def test_full_differential_loop(self):
+        wl = corpus.exitgate_workload()
+        evaluation = wl.target().evaluate(models=("skip",))
+        census = evaluation.diff.counts(model="skip")
+        assert census["eliminated"] >= 1
+        assert census["surviving"] == 0
+
+    def test_memory_oracle_campaign(self):
+        """A memory-predicate oracle drives a campaign end-to-end:
+        grant means 'the token buffer holds the magic token when the
+        run ends'."""
+        wl = corpus.exitgate_workload()
+        exe = wl.build()
+        tok = exe.symbol("tok_buf").value
+        oracle = MemoryPredicateOracle(tok, 2, equals=b"GO")
+        target = Target(exe, b"GO", b"NO", oracle, name="memgate")
+        report = target.campaign(("skip",))["skip"]
+        # a skip of the read-length check cannot rewrite the buffer,
+        # so this oracle sees *no* successful faults -- unlike the
+        # exit-code oracle over the identical binary
+        exit_report = wl.target().campaign(("skip",))["skip"]
+        assert not report.vulnerable
+        assert exit_report.vulnerable
+        assert report.total_faults == exit_report.total_faults
+
+    def test_broken_exit_oracle_rejected(self):
+        from repro.errors import ReproError
+        wl = corpus.exitgate_workload()
+        with pytest.raises(ReproError, match="good input"):
+            Target(wl.build(), b"XX", b"NO",
+                   ExitCodeOracle(0)).campaign(("skip",))
+
+
+# ---------------------------------------------------------------------------
+# hardening-approach registry
+# ---------------------------------------------------------------------------
+
+
+class _StubResult:
+    def __init__(self, exe):
+        self.hardened = exe
+        self.provenance = None
+
+    def report(self):
+        return "stub"
+
+
+class TestApproachRegistry:
+    def test_builtins_registered(self):
+        assert set(APPROACHES) <= set(HARDENING_APPROACHES)
+        for name in ("faulter+patcher", "hybrid", "detour"):
+            entry = approach_by_name(name)
+            assert entry.provenance
+            assert callable(entry.harden)
+        assert approach_by_name(
+            "faulter+patcher").consumes_fault_models
+        assert not approach_by_name("detour").consumes_fault_models
+
+    def test_unknown_approach(self):
+        with pytest.raises(ValueError, match="faulter"):
+            approach_by_name("magic")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already"):
+            register_approach(HardeningApproach(
+                name="detour", harden=lambda *a, **k: None))
+
+    def test_third_party_approach_plugs_in(self):
+        calls = {}
+
+        def noop_harden(exe, good, bad, oracle, *, models, name,
+                        **kwargs):
+            calls.update(models=models, name=name, oracle=oracle)
+            return _StubResult(exe)
+
+        register_approach(HardeningApproach(
+            name="test-noop", harden=noop_harden,
+            provenance="identity"))
+        try:
+            wl = pincheck.workload()
+            result = wl.target().harden(approach="test-noop",
+                                        fault_models=("bitflip",))
+            assert isinstance(result, _StubResult)
+            assert calls["models"] == ("bitflip",)
+            assert calls["name"] == wl.name
+            assert calls["oracle"] == MarkerOracle(wl.grant_marker)
+            # CLI --approach choices derive from the registry
+            parser = build_parser()
+            args = parser.parse_args(
+                ["harden", "t", "-o", "out", "--approach",
+                 "test-noop", "--good", "00", "--bad", "01",
+                 "--marker", "M"])
+            assert args.approach == "test-noop"
+        finally:
+            del HARDENING_APPROACHES["test-noop"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["harden", "t", "-o", "out", "--approach",
+                 "test-noop", "--good", "00", "--bad", "01",
+                 "--marker", "M"])
+
+
+# ---------------------------------------------------------------------------
+# CLI: shared parents, parser-owned defaults, knob forwarding
+# ---------------------------------------------------------------------------
+
+
+class TestCLIKnobs:
+    def test_model_default_owned_by_parser(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["fault", "t", "--good", "00", "--bad", "01",
+             "--marker", "M"])
+        assert args.model == ["skip"]
+
+    def test_model_append_replaces_default(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["fault", "t", "--good", "00", "--bad", "01",
+             "--marker", "M", "--model", "bitflip",
+             "--model", "stuck0"])
+        assert args.model == ["bitflip", "stuck0"]
+        # and the shared default list was not mutated by the append
+        again = parser.parse_args(
+            ["fault", "t", "--good", "00", "--bad", "01",
+             "--marker", "M"])
+        assert again.model == ["skip"]
+
+    def test_engine_knobs_shared_across_subcommands(self):
+        parser = build_parser()
+        for sub in (["fault", "t"],
+                    ["harden", "t", "-o", "o"],
+                    ["compare", "pincheck"]):
+            args = parser.parse_args(
+                sub + ["--good", "00", "--bad", "01", "--marker", "M",
+                       "--backend", "multiprocess", "--workers", "2",
+                       "--checkpoint-interval", "16",
+                       "--max-resident-points", "64", "--stream"])
+            assert args.backend == "multiprocess"
+            assert args.workers == 2
+            assert args.checkpoint_interval == 16
+            assert args.max_resident_points == 64
+            assert args.stream is True
+
+    def test_harden_evaluate_forwards_engine_knobs(self, capsys,
+                                                   tmp_path,
+                                                   monkeypatch):
+        """Regression: ``r2r harden --evaluate`` used to silently
+        drop every engine knob (the parser never accepted them)."""
+        from repro.binfmt import write_elf
+        import repro.cli as cli
+
+        wl = pincheck.workload()
+        target_path = tmp_path / "t.elf"
+        output = tmp_path / "out.elf"
+        target_path.write_bytes(write_elf(wl.build()))
+
+        seen = {}
+        original = cli.Target.evaluate
+
+        def spy(self, **kwargs):
+            seen.update(kwargs)
+            return original(self, **kwargs)
+
+        monkeypatch.setattr(cli.Target, "evaluate", spy)
+        code = main(["harden", str(target_path), "-o", str(output),
+                     "--evaluate", "--good", "text:1234",
+                     "--bad", "text:6789",
+                     "--marker", "ACCESS GRANTED",
+                     "--checkpoint-interval", "32",
+                     "--max-resident-points", "64"])
+        assert code == 0
+        config = seen["config"]
+        assert config.checkpoint_interval == 32
+        assert config.max_resident_points == 64
+        assert output.exists()
+        assert "differential evaluation" in capsys.readouterr().out
+
+    def test_evaluate_honours_k_fault_config(self):
+        """Regression: evaluate used to silently ignore the
+        multi-fault knobs its EngineConfig carried."""
+        wl = pincheck.workload()
+        config = EngineConfig(k_faults=2, samples=40, seed=3)
+        evaluation = wl.target().evaluate(approach="detour",
+                                          models=("skip",),
+                                          config=config)
+        base = evaluation.baseline_reports["skip"]
+        hard = evaluation.hardened_reports["skip"]
+        # both campaigns ran as sampled pair campaigns, exactly like
+        # Target.campaign with the same config
+        assert base.target.endswith("(pairs)")
+        assert hard.target.endswith("(pairs)")
+        direct = wl.target().campaign(("skip",), config)["skip"]
+        assert direct.to_dict() == base.to_dict()
+
+    def test_plain_harden_rejects_engine_knobs(self, capsys,
+                                               tmp_path):
+        """Regression: ``r2r harden`` without --evaluate used to
+        accept the shared engine knobs and silently drop them."""
+        from repro.binfmt import write_elf
+
+        wl = pincheck.workload()
+        target_path = tmp_path / "t.elf"
+        target_path.write_bytes(write_elf(wl.build()))
+        code = main(["harden", str(target_path), "-o",
+                     str(tmp_path / "out.elf"),
+                     "--good", "text:1234", "--bad", "text:6789",
+                     "--marker", "ACCESS GRANTED",
+                     "--backend", "multiprocess"])
+        assert code == 2
+        assert "--evaluate" in capsys.readouterr().err
+
+    def test_harden_evaluate_rejects_conflicting_knobs(self, capsys,
+                                                       tmp_path):
+        from repro.binfmt import write_elf
+
+        wl = pincheck.workload()
+        target_path = tmp_path / "t.elf"
+        target_path.write_bytes(write_elf(wl.build()))
+        code = main(["harden", str(target_path), "-o",
+                     str(tmp_path / "out.elf"), "--evaluate",
+                     "--good", "text:1234", "--bad", "text:6789",
+                     "--marker", "ACCESS GRANTED",
+                     "--backend", "sequential", "--workers", "2"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_compare_exitgate_uses_workload_oracle(self, capsys):
+        """`r2r compare exitgate`: the whole differential loop under
+        an exit-code oracle, no --marker anywhere."""
+        code = main(["compare", "exitgate", "--model", "skip"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "differential evaluation" in out
+        assert "eliminated=" in out
