@@ -10,7 +10,15 @@ three engine backends:
 * ``checkpointed``    — checkpoint_interval=64: faulted runs resume
   from the nearest trace checkpoint,
 * ``multiprocess``    — the checkpointed strategy inside a process
-  pool.
+  pool,
+* ``trace-compiled``  — the master-walk strategy with the compiled
+  tier (the default), recorded as its own row so the JIT's
+  contribution stays visible in the trajectory.
+
+All rows except ``precise-checkpointed`` run with the trace-compiled
+tier on (the engine default); ``precise-checkpointed`` pins
+``trace_compile=False`` so the interpreter-only trajectory — and the
+tier's speedup over it — stays measured.
 
 The checkpointed backend must *strictly* reduce the total number of
 emulated steps vs prefix re-execution; faults/second, step counts,
@@ -76,6 +84,10 @@ def test_engine_throughput(benchmark, record):
             checkpoint_interval=CHECKPOINT_INTERVAL),
         "multiprocess": MultiprocessBackend(
             workers=4, checkpoint_interval=CHECKPOINT_INTERVAL),
+        "trace-compiled": SequentialBackend(),
+        "precise-checkpointed": SequentialBackend(
+            checkpoint_interval=CHECKPOINT_INTERVAL,
+            trace_compile=False),
     }
 
     results = {}
@@ -94,6 +106,8 @@ def test_engine_throughput(benchmark, record):
             "faults_per_second": round(
                 report.total_faults / elapsed, 2) if elapsed else None,
             "emulated_steps": report.meta["emulated_steps"],
+            "compiled_steps": report.meta["compiled_steps"],
+            "precise_steps": report.meta["precise_steps"],
             "checkpoint_interval": report.meta["checkpoint_interval"],
             "peak_resident_points": report.meta["peak_resident_points"],
             # ru_maxrss is a process-lifetime high-water mark (KiB on
@@ -106,6 +120,16 @@ def test_engine_throughput(benchmark, record):
     # all backends classify the sampled space identically
     assert reports["checkpointed"] == reports["prefix-reexec"]
     assert reports["multiprocess"] == reports["prefix-reexec"]
+    assert reports["trace-compiled"] == reports["prefix-reexec"]
+    assert reports["precise-checkpointed"] == reports["prefix-reexec"]
+
+    # the compiled tier does the bulk of the stepping — and never
+    # changes the deterministic emulated-step count
+    assert (results["checkpointed"]["emulated_steps"]
+            == results["precise-checkpointed"]["emulated_steps"])
+    meta = reports["checkpointed"].meta
+    assert meta["compiled_steps"] > meta["precise_steps"]
+    assert results["precise-checkpointed"]["compiled_steps"] == 0
 
     # the acceptance property: checkpoint replay strictly reduces the
     # emulated work vs whole-prefix re-execution
@@ -128,6 +152,7 @@ def test_engine_throughput(benchmark, record):
                 state_report.total_faults / state_elapsed, 2)
             if state_elapsed else None,
             "emulated_steps": state_report.meta["emulated_steps"],
+            "compiled_steps": state_report.meta["compiled_steps"],
             "checkpoint_interval":
                 state_report.meta["checkpoint_interval"],
         }

@@ -8,8 +8,13 @@ edges — matching how Ddisasm-based rewriters reason about binaries.
 
 from __future__ import annotations
 
+from typing import Iterable, Sequence
+
 from repro.gtirb.cfg import CFG, build_cfg
 from repro.gtirb.ir import CodeBlock, Module
+
+#: The six arithmetic flags of the emulated subset.
+ALL_FLAGS = frozenset({"cf", "pf", "af", "zf", "sf", "of"})
 
 
 class FlagLiveness:
@@ -77,3 +82,33 @@ class FlagLiveness:
                 if new_value != self._live_in[block.uid]:
                     self._live_in[block.uid] = new_value
                     changed = True
+
+
+def flag_materialization(
+    writers: Sequence[tuple[Iterable[str], Iterable[str]]],
+    live_out: Iterable[str] = ALL_FLAGS,
+) -> list[int]:
+    """Select the minimal tail of flag writers that must be replayed.
+
+    ``writers`` is a straight-line sequence, in program order, of
+    ``(may_define, definite_define)`` flag-name sets — one entry per
+    flag-writing instruction.  A writer whose *may* set no longer
+    intersects the flags still needed at block exit is redundant: every
+    flag it could produce is definitely overwritten by a later kept
+    writer.  This is the per-flag refinement of the boolean liveness
+    above, used by the JIT to batch flag materialization (only the live
+    tail of exact ``Flags`` updates is replayed at superblock exit).
+
+    Returns the indices of the writers to keep, in program order.
+    """
+    needed = set(live_out)
+    keep: list[int] = []
+    for index in range(len(writers) - 1, -1, -1):
+        if not needed:
+            break
+        may, definite = writers[index]
+        if needed & set(may):
+            keep.append(index)
+            needed -= set(definite)
+    keep.reverse()
+    return keep

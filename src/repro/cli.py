@@ -129,6 +129,12 @@ def _engine_parent() -> argparse.ArgumentParser:
                        help="streaming reorder-window size: the peak "
                             "number of fault points held in memory "
                             "at once")
+    group.add_argument("--trace-compile", default=None,
+                       action=argparse.BooleanOptionalAction,
+                       help="run unfaulted instruction stretches "
+                            "through the trace-compiled tier "
+                            "(default: on; --no-trace-compile keeps "
+                            "every step on the precise interpreter)")
     return parent
 
 
@@ -142,7 +148,8 @@ def _engine_config(args) -> EngineConfig:
         samples=getattr(args, "samples", 200),
         seed=getattr(args, "seed", 0),
         stream=args.stream,
-        max_resident_points=args.max_resident_points)
+        max_resident_points=args.max_resident_points,
+        trace_compile=args.trace_compile)
 
 
 def _file_target(args) -> Target:
@@ -187,6 +194,13 @@ def _cmd_fault(args) -> int:
         return 2
     for report in reports.values():
         print(report.summary())
+        if args.verbose:
+            meta = report.meta
+            print(f"  execution: {meta['compiled_steps']} compiled + "
+                  f"{meta['precise_steps']} precise steps "
+                  f"(trace_compile={meta['trace_compile']}, "
+                  f"{meta['compile_divergences']} divergences, "
+                  f"compile {meta['compile_seconds']}s)")
     return 0 if not any(r.vulnerable for r in reports.values()) else 1
 
 
@@ -291,6 +305,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sampled runs for --k-faults > 1")
     fault.add_argument("--seed", type=int, default=0,
                        help="sampling seed for --k-faults > 1")
+    fault.add_argument("-v", "--verbose", action="store_true",
+                       help="print per-report execution detail "
+                            "(compiled vs precise step split)")
     fault.set_defaults(func=_cmd_fault)
 
     harden = sub.add_parser("harden", help="harden a binary",

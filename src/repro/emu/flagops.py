@@ -8,9 +8,14 @@ each ALU operation class at 1/4/8-byte widths.
 from __future__ import annotations
 
 
+#: PF lookup: PARITY_TABLE[b] is True when byte ``b`` has even parity.
+PARITY_TABLE = tuple(
+    bin(byte).count("1") % 2 == 0 for byte in range(256))
+
+
 def _parity(value: int) -> bool:
     """PF: even parity of the low byte."""
-    return bin(value & 0xFF).count("1") % 2 == 0
+    return PARITY_TABLE[value & 0xFF]
 
 
 class Flags:

@@ -1,0 +1,213 @@
+"""The trace compiler: block cache, execution loop, coherence, stats.
+
+Blocks are keyed by static start address, so one compilation serves the
+baseline trace *and* every faulted suffix that passes through the same
+code — which is where ~95% of campaign steps are spent.  Coherence is
+event-driven:
+
+* ``on_exec_write`` (wired through ``Machine._on_exec_write``) evicts
+  every block overlapping a write to executable memory and, if the
+  write came from inside the currently running block, aborts it with
+  :class:`BlockInvalidated` so nothing stale commits;
+* ``on_restore`` (checkpoint restores) evicts only blocks compiled
+  while the image was dirty — a block compiled from pristine bytes is
+  valid in every restored state, because any write that could have
+  changed its bytes already evicted it when it happened;
+* ``attach`` binds the compiler to a freshly constructed machine
+  (pristine image) and is how one block cache survives the engine's
+  per-fault machine resets.
+
+Aborted blocks (guest fault or self-modification) roll back their
+journaled memory writes and return control to the precise stepper,
+which re-executes from the block entry and reproduces the exact
+architectural crash state — compiled execution never commits partial
+blocks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import EmulationError, IRError, LiftError
+from repro.emu.jit.codegen import JitUnsupported, lower_superblock
+from repro.emu.jit.lift import lift_superblock
+from repro.emu.jit.superblock import carve
+from repro.isa.insn import Instruction
+
+_UNCOMPILED = object()
+
+
+class BlockInvalidated(Exception):
+    """Raised mid-block when a store hits the running block's bytes.
+
+    Deliberately *not* an :class:`EmulationError`: it must tunnel out
+    of ``Memory.write`` without being classified as a guest fault.
+    """
+
+
+@dataclass
+class SuperBlock:
+    """One compiled superblock."""
+
+    start: int
+    limit: int                       # end address (exclusive)
+    count: int                       # guest instructions per execution
+    step: Callable                   # fn(cpu, mem, flags)
+    writes_memory: bool
+    tainted: bool                    # compiled after the image went dirty
+    insns: tuple = field(default=())  # body + terminator, decode order
+    source: str = ""
+
+
+class TraceCompiler:
+    """Compiles and runs superblocks for a family of machines.
+
+    One instance is shared across all replays of one campaign worker;
+    its counters accumulate until :meth:`drain_into` moves them into an
+    :class:`~repro.faulter.engine.ExecutionStats`.
+    """
+
+    def __init__(self):
+        self._blocks: dict[int, Optional[SuperBlock]] = {}
+        self._insn_index: dict[int, Instruction] = {}
+        self._active: Optional[SuperBlock] = None
+        self._dirty = False
+        self.compiled_steps = 0
+        self.divergences = 0
+        self.compile_seconds = 0.0
+        self.compiled_blocks = 0
+
+    # -- machine binding ----------------------------------------------
+
+    def attach(self, machine) -> "TraceCompiler":
+        """Bind to a machine whose memory holds the pristine image."""
+        self._evict_if(lambda block: block is None or block.tainted)
+        self._dirty = False
+        machine.jit = self
+        return self
+
+    def cached_insn(self, address: int) -> Optional[Instruction]:
+        """Decoded instruction at ``address``, if a live block has it."""
+        return self._insn_index.get(address)
+
+    # -- coherence ----------------------------------------------------
+
+    def _evict_if(self, stale) -> None:
+        for start in [s for s, b in self._blocks.items() if stale(b)]:
+            block = self._blocks.pop(start)
+            if block is not None:
+                for insn in block.insns:
+                    self._insn_index.pop(insn.address, None)
+
+    def on_exec_write(self, address: int, size: int) -> None:
+        """A write landed in executable memory."""
+        self._dirty = True
+        end = address + size
+        if self._blocks:
+            self._evict_if(lambda block: block is None or
+                           (block.start < end and address < block.limit))
+        active = self._active
+        if active is not None and active.start < end \
+                and address < active.limit:
+            raise BlockInvalidated()
+
+    def on_restore(self) -> None:
+        """A checkpoint restore may have rewritten dirtied code bytes."""
+        if self._dirty:
+            self._evict_if(lambda block: block is None or block.tainted)
+
+    # -- compilation --------------------------------------------------
+
+    def _compile_at(self, machine, address: int) -> Optional[SuperBlock]:
+        started = time.perf_counter()
+        block = None
+        try:
+            body, terminator = carve(machine, address)
+            if body or terminator is not None:
+                function = lift_superblock(body, address)
+                step, writes_memory, source = lower_superblock(
+                    function, body, terminator)
+                insns = tuple(body) + (
+                    (terminator,) if terminator is not None else ())
+                last = insns[-1]
+                block = SuperBlock(
+                    start=address,
+                    limit=last.address + last.length,
+                    count=len(insns),
+                    step=step,
+                    writes_memory=writes_memory,
+                    tainted=self._dirty,
+                    insns=insns,
+                    source=source,
+                )
+        except (LiftError, IRError, JitUnsupported):
+            block = None
+        self._blocks[address] = block
+        if block is not None:
+            self.compiled_blocks += 1
+            for insn in block.insns:
+                self._insn_index.setdefault(insn.address, insn)
+        self.compile_seconds += time.perf_counter() - started
+        return block
+
+    # -- execution ----------------------------------------------------
+
+    def execute(self, machine, limit: int) -> int:
+        """Run compiled blocks from the current PC, up to ``limit`` steps.
+
+        Returns the number of guest instructions executed (possibly 0).
+        Never over-steps: a block longer than the remaining budget is
+        left to the precise stepper, which is what keeps fault windows
+        and checkpoint boundaries exact.
+        """
+        executed = 0
+        cpu = machine.cpu
+        memory = machine.memory
+        flags = cpu.flags
+        lookup = self._blocks.get
+        while executed < limit:
+            block = lookup(cpu.rip, _UNCOMPILED)
+            if block is _UNCOMPILED:
+                block = self._compile_at(machine, cpu.rip)
+            if block is None or block.count > limit - executed:
+                break
+            if block.writes_memory:
+                mark = memory.journal_mark()
+                self._active = block
+                try:
+                    block.step(cpu, memory, flags)
+                except (BlockInvalidated, EmulationError):
+                    # Roll back so the precise stepper re-executes the
+                    # block from scratch and lands on the authentic
+                    # fault (or safely re-runs the self-modifying
+                    # store).
+                    self._active = None
+                    memory.journal_rollback_to(mark)
+                    self.divergences += 1
+                    break
+                self._active = None
+                memory.journal_release(mark)
+            else:
+                # A block with no stores cannot invalidate itself and
+                # leaves nothing to roll back; skip the bookkeeping.
+                try:
+                    block.step(cpu, memory, flags)
+                except EmulationError:
+                    self.divergences += 1
+                    break
+            executed += block.count
+        self.compiled_steps += executed
+        return executed
+
+    # -- stats --------------------------------------------------------
+
+    def drain_into(self, stats) -> None:
+        """Fold-and-reset counters into an ``ExecutionStats``."""
+        stats.compiled_steps += self.compiled_steps
+        stats.divergences += self.divergences
+        stats.compile_seconds += self.compile_seconds
+        self.compiled_steps = 0
+        self.divergences = 0
+        self.compile_seconds = 0.0

@@ -166,6 +166,9 @@ class Machine:
         # Sticky: set the first time executable bytes are mutated, so
         # checkpoint restores know cached decodes may be stale.
         self._code_dirty = False
+        # Optional trace compiler (emu.jit.TraceCompiler); attached by
+        # the engine, shared across per-fault machine resets.
+        self.jit = None
         self.memory.exec_write_hook = self._on_exec_write
 
     def _on_exec_write(self, address: int, size: int) -> None:
@@ -175,17 +178,21 @@ class Machine:
         store would keep executing the pre-write decode of the
         clobbered bytes.  Entries are matched by their decoded length,
         so only decodes actually overlapping the written range drop.
+        The JIT is notified last: it may abort a compiled block that
+        just modified its own bytes.
         """
         self._code_dirty = True
         cache = self._decode_cache
-        if not cache:
-            return
-        end = address + size
-        stale = [cached_address for cached_address, insn in cache.items()
-                 if cached_address < end
-                 and address < cached_address + (insn.length or 15)]
-        for cached_address in stale:
-            del cache[cached_address]
+        if cache:
+            end = address + size
+            stale = [cached_address
+                     for cached_address, insn in cache.items()
+                     if cached_address < end
+                     and address < cached_address + (insn.length or 15)]
+            for cached_address in stale:
+                del cache[cached_address]
+        if self.jit is not None:
+            self.jit.on_exec_write(address, size)
 
     # -- snapshot/restore (fork substitute) ------------------------------
 
@@ -233,6 +240,8 @@ class Machine:
             # code bytes were mutated at some point; a restore may move
             # them under cached decodes, so drop the cache wholesale
             self._decode_cache.clear()
+        if self.jit is not None:
+            self.jit.on_restore()
         return cp.step
 
     # -- execution ---------------------------------------------------------
@@ -241,6 +250,15 @@ class Machine:
         cached = self._decode_cache.get(address)
         if cached is not None:
             return cached
+        if self.jit is not None:
+            # Re-warm from the compiled superblock index: live blocks
+            # are only kept while their bytes are provably unchanged,
+            # so their decodes are valid even after a restore cleared
+            # the cache wholesale.
+            warm = self.jit.cached_insn(address)
+            if warm is not None:
+                self._decode_cache[address] = warm
+                return warm
         raw = self.memory.fetch(address, 15)
         instruction = decode(raw, 0, address)
         self._decode_cache[address] = instruction
@@ -289,6 +307,12 @@ class Machine:
         checkpointing = (checkpoint_sink is not None
                          and checkpoint_interval
                          and checkpoint_interval > 0)
+        # Compiled fast path: disabled while tracing (every executed
+        # address must be observed) — fault steps, checkpoint
+        # boundaries and the step budget bound each burst below.
+        jit = self.jit if not record_trace else None
+        plan_steps = sorted(plan) if (jit is not None and plan) else []
+        plan_cursor = 0
         try:
             while steps < max_steps:
                 rip = cpu.rip
@@ -299,6 +323,23 @@ class Machine:
                         or (not math.isinf(checkpoint_interval)
                             and steps % checkpoint_interval == 0)):
                     checkpoint_sink.append(self.checkpoint(steps))
+                if jit is not None:
+                    stop = max_steps
+                    while plan_cursor < len(plan_steps) and \
+                            plan_steps[plan_cursor] < steps:
+                        plan_cursor += 1
+                    if plan_cursor < len(plan_steps):
+                        stop = min(stop, plan_steps[plan_cursor])
+                    if checkpointing and \
+                            not math.isinf(checkpoint_interval):
+                        stop = min(stop, steps
+                                   - steps % checkpoint_interval
+                                   + checkpoint_interval)
+                    if stop > steps:
+                        advanced = jit.execute(self, stop - steps)
+                        if advanced:
+                            steps += advanced
+                            continue
                 try:
                     instruction = self.fetch_decode(rip)
                     effect = plan.get(steps) if plan else None

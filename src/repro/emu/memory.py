@@ -76,19 +76,39 @@ class Memory:
         return int.from_bytes(self.read(address, 8), "little")
 
     def write(self, address: int, data: bytes):
-        if not data:
+        size = len(data)
+        if not size:
             return
-        first = address >> 12
-        last = (address + len(data) - 1) >> 12
+        page = address >> 12
+        offset = address & PAGE_MASK
+        if offset + size <= PAGE_SIZE:
+            # single-page fast path: one permission lookup, inline
+            # journal capture and store (the write path is the hottest
+            # memory operation in compiled execution)
+            perms = self._perms.get(page)
+            if perms is None or "w" not in perms:
+                raise MemoryFault(address, size, "write")
+            buf = self._pages[page]
+            if self._journal is not None:
+                self._journal.append(
+                    (address, size, bytes(buf[offset:offset + size])))
+            buf[offset:offset + size] = data
+            if "x" in perms:
+                hook = self.exec_write_hook
+                if hook is not None:
+                    hook(address, size)
+            return
+        first = page
+        last = (address + size - 1) >> 12
         for page in range(first, last + 1):
             perms = self._perms.get(page)
             if perms is None or "w" not in perms:
-                raise MemoryFault(address, len(data), "write")
+                raise MemoryFault(address, size, "write")
         if self._journal is not None:
             self._journal.append(
-                (address, len(data), self._read_raw(address, len(data))))
+                (address, size, self._read_raw(address, size)))
         self._write_raw(address, data)
-        self._notify_exec_write(address, len(data))
+        self._notify_exec_write(address, size)
 
     def write_u64(self, address: int, value: int):
         self.write(address, (value % (1 << 64)).to_bytes(8, "little"))
@@ -157,6 +177,38 @@ class Memory:
     def journal_discard(self):
         """Stop journaling, keeping all writes."""
         self._journal = None
+
+    # Nested marks: the JIT brackets each compiled block with a mark so
+    # it can undo a half-executed block without disturbing an enclosing
+    # per-fault journal (the engine's journal_begin/rollback pair).
+
+    def journal_mark(self):
+        """Return an opaque mark for the current journal position.
+
+        When no journal is active one is started and the mark denotes
+        "owner": releasing or rolling back to it stops journaling again.
+        """
+        if self._journal is None:
+            self._journal = []
+            return None
+        return len(self._journal)
+
+    def journal_rollback_to(self, mark):
+        """Undo writes recorded after ``mark`` (LIFO)."""
+        if self._journal is None:
+            return
+        floor = 0 if mark is None else mark
+        while len(self._journal) > floor:
+            address, size, original = self._journal.pop()
+            self._write_raw(address, original)
+            self._notify_exec_write(address, size)
+        if mark is None:
+            self._journal = None
+
+    def journal_release(self, mark):
+        """Keep writes recorded after ``mark``; stop journaling if owner."""
+        if mark is None:
+            self._journal = None
 
     # -- internals -----------------------------------------------------------
 

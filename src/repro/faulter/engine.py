@@ -53,6 +53,7 @@ from typing import Iterator, Optional, Sequence
 from repro.binfmt.reader import read_elf
 from repro.binfmt.writer import write_elf
 from repro.emu.cpu import ExitProgram, Halt
+from repro.emu.jit import TraceCompiler
 from repro.emu.machine import MAX_STEPS, CheckpointStore, Machine
 from repro.errors import DecodingError, EmulationError
 from repro.faulter.models import FaultModel, model_by_name
@@ -83,10 +84,20 @@ DEFAULT_MAX_RESIDENT = 4096
 
 @dataclass
 class ExecutionStats:
-    """Counters a backend fills while streaming outcomes."""
+    """Counters a backend fills while streaming outcomes.
+
+    ``compiled_steps`` counts the subset of ``emulated_steps`` executed
+    by the trace-compiled tier; ``divergences`` counts compiled blocks
+    that aborted back to the precise stepper (guest fault or
+    self-modifying code); ``compile_seconds`` is wall time spent
+    lifting/lowering superblocks.
+    """
 
     emulated_steps: int = 0
     peak_resident_points: int = 0
+    compiled_steps: int = 0
+    divergences: int = 0
+    compile_seconds: float = 0.0
 
     def observe_resident(self, count: int) -> None:
         if count > self.peak_resident_points:
@@ -168,10 +179,17 @@ class _MasterWalkExecutor:
     is deterministic, so results are unaffected).
     """
 
-    def __init__(self, faulter, model: FaultModel, cap_policy: str):
+    def __init__(
+        self,
+        faulter,
+        model: FaultModel,
+        cap_policy: str,
+        trace_compile: bool = True,
+    ):
         self._faulter = faulter
         self._model = model
         self._cap_policy = cap_policy
+        self._compiler = TraceCompiler() if trace_compile else None
         self._machine: Optional[Machine] = None
         self._step = 0
         self._done = False
@@ -180,6 +198,8 @@ class _MasterWalkExecutor:
         self._machine = Machine(
             self._faulter.image, stdin=self._faulter.bad_input
         )
+        if self._compiler is not None:
+            self._compiler.attach(self._machine)
         self._step = 0
         self._done = False
 
@@ -222,6 +242,17 @@ class _MasterWalkExecutor:
                 results.append((point, classify(result)))
             if index >= len(ordered) or self._done:
                 break
+            target = ordered[index].first_step
+            if self._compiler is not None and target > self._step:
+                # bulk-advance the master walk through compiled
+                # superblocks up to the next fault offset
+                advanced = self._compiler.execute(
+                    machine, target - self._step
+                )
+                if advanced:
+                    stats.emulated_steps += advanced
+                    self._step += advanced
+                    continue
             if not _master_step(machine):
                 # the master run ended; points past it (none, for
                 # spaces enumerated from the recorded trace) drop
@@ -229,6 +260,8 @@ class _MasterWalkExecutor:
                 break
             stats.emulated_steps += 1
             self._step += 1
+        if self._compiler is not None:
+            self._compiler.drain_into(stats)
         return results
 
 
@@ -255,6 +288,7 @@ class _CheckpointReplayExecutor:
         cap_policy: str,
         checkpoint_interval: int | float,
         trace_length: int,
+        trace_compile: bool = True,
     ):
         self._faulter = faulter
         self._model = model
@@ -262,6 +296,10 @@ class _CheckpointReplayExecutor:
         self._max_span = min(faulter.max_steps, max(trace_length, 1))
         self._interval = checkpoint_interval
         self._machine = Machine(faulter.image, stdin=faulter.bad_input)
+        self._compiler = (
+            TraceCompiler().attach(self._machine)
+            if trace_compile else None
+        )
         self._checkpoints: list = []
         self._store: Optional[CheckpointStore] = None
         self._covered = 0
@@ -352,6 +390,8 @@ class _CheckpointReplayExecutor:
             )
             stats.emulated_steps += result.steps
             results.append((point, classify(result)))
+        if self._compiler is not None:
+            self._compiler.drain_into(stats)
         return results
 
 
@@ -409,6 +449,12 @@ class SequentialBackend(ExecutionBackend):
     then emits its outcomes back in enumeration order.  ``stream=
     False`` materializes the whole space as one window — the legacy
     O(population) path, kept as the differential-testing baseline.
+
+    ``trace_compile=True`` (the default) runs unfaulted instruction
+    stretches through the trace-compiled tier
+    (:class:`~repro.emu.jit.TraceCompiler`); ``False`` keeps every
+    step on the precise interpreter — the differential baseline the
+    bit-identity tests compare against.
     """
 
     name = "sequential"
@@ -418,11 +464,13 @@ class SequentialBackend(ExecutionBackend):
         checkpoint_interval: int | float | None = None,
         stream: bool = True,
         max_resident_points: int | None = None,
+        trace_compile: bool = True,
     ):
         self.checkpoint_interval = _normalize_interval(checkpoint_interval)
         _validate_streaming_knobs(stream, max_resident_points)
         self.stream = stream
         self.max_resident_points = max_resident_points
+        self.trace_compile = trace_compile
 
     def _window_size(self) -> int | None:
         """Reorder-window bound; ``None`` materializes everything."""
@@ -438,8 +486,14 @@ class SequentialBackend(ExecutionBackend):
                 space.cap_policy,
                 self.checkpoint_interval,
                 len(ctx.trace),
+                trace_compile=self.trace_compile,
             )
-        return _MasterWalkExecutor(faulter, ctx.model, space.cap_policy)
+        return _MasterWalkExecutor(
+            faulter,
+            ctx.model,
+            space.cap_policy,
+            trace_compile=self.trace_compile,
+        )
 
     def iter_outcomes(self, faulter, model, space, ctx, stats):
         window_size = self._window_size()
@@ -528,7 +582,7 @@ def _worker_context(
     return cached
 
 
-def _worker(job) -> tuple[list[PointOutcome], int, int]:
+def _worker(job):
     """Pool worker: stream one declarative partition of the space.
 
     The job carries a :class:`~repro.faulter.space.SpacePartition`
@@ -547,6 +601,7 @@ def _worker(job) -> tuple[list[PointOutcome], int, int]:
         master_max_steps,
         stream,
         max_resident_points,
+        trace_compile,
     ) = job
     image, model, ctx = _worker_context(
         elf_bytes, bad_input, model_name, master_max_steps
@@ -562,12 +617,20 @@ def _worker(job) -> tuple[list[PointOutcome], int, int]:
         checkpoint_interval=checkpoint_interval,
         stream=stream,
         max_resident_points=max_resident_points,
+        trace_compile=trace_compile,
     )
     stats = ExecutionStats()
     outcomes = list(
         backend.iter_outcomes(target, model, partition, ctx, stats)
     )
-    return outcomes, stats.emulated_steps, stats.peak_resident_points
+    return (
+        outcomes,
+        stats.emulated_steps,
+        stats.peak_resident_points,
+        stats.compiled_steps,
+        stats.divergences,
+        stats.compile_seconds,
+    )
 
 
 def default_workers() -> int:
@@ -597,12 +660,14 @@ class MultiprocessBackend(ExecutionBackend):
         checkpoint_interval: int | float | None = None,
         stream: bool = True,
         max_resident_points: int | None = None,
+        trace_compile: bool = True,
     ):
         self.workers = workers
         self.checkpoint_interval = _normalize_interval(checkpoint_interval)
         _validate_streaming_knobs(stream, max_resident_points)
         self.stream = stream
         self.max_resident_points = max_resident_points
+        self.trace_compile = trace_compile
 
     def _partition_count(self, total: int, workers: int) -> int:
         """Enough partitions for the pool, capped at the window size."""
@@ -625,6 +690,7 @@ class MultiprocessBackend(ExecutionBackend):
                 checkpoint_interval=self.checkpoint_interval,
                 stream=self.stream,
                 max_resident_points=self.max_resident_points,
+                trace_compile=self.trace_compile,
             )
             yield from fallback.iter_outcomes(
                 faulter, model, space, ctx, stats
@@ -647,6 +713,7 @@ class MultiprocessBackend(ExecutionBackend):
                 faulter.max_steps,
                 self.stream,
                 self.max_resident_points,
+                self.trace_compile,
             )
             for partition in partitions
         ]
@@ -661,10 +728,20 @@ class MultiprocessBackend(ExecutionBackend):
             # at most one reorder window) while keeping partition order
             for start in range(0, len(jobs), pool_size):
                 wave = jobs[start:start + pool_size]
-                for outcomes, steps, peak in pool.map(_worker, wave):
+                for (
+                    outcomes,
+                    steps,
+                    peak,
+                    compiled,
+                    divergences,
+                    compile_seconds,
+                ) in pool.map(_worker, wave):
                     stats.emulated_steps += steps
                     stats.observe_resident(peak)
                     stats.observe_resident(len(outcomes))
+                    stats.compiled_steps += compiled
+                    stats.divergences += divergences
+                    stats.compile_seconds += compile_seconds
                     yield from outcomes
 
 
@@ -694,6 +771,7 @@ def resolve_backend(
     checkpoint_interval: int | float | None = None,
     stream: bool | None = None,
     max_resident_points: int | None = None,
+    trace_compile: bool | None = None,
 ) -> ExecutionBackend:
     """Coerce ``None``/name/instance into an ExecutionBackend.
 
@@ -707,6 +785,8 @@ def resolve_backend(
         streaming_kwargs["stream"] = stream
     if max_resident_points is not None:
         streaming_kwargs["max_resident_points"] = max_resident_points
+    if trace_compile is not None:
+        streaming_kwargs["trace_compile"] = trace_compile
     if backend is None:
         if workers is not None:
             return MultiprocessBackend(
@@ -736,6 +816,7 @@ def resolve_backend(
         ("workers", workers),
         ("stream", stream),
         ("max_resident_points", max_resident_points),
+        ("trace_compile", trace_compile),
     )
     for knob, value in conflicts:
         if value is None:
@@ -775,6 +856,7 @@ class EngineConfig:
     seed: int = 0
     stream: Optional[bool] = None
     max_resident_points: Optional[int] = None
+    trace_compile: Optional[bool] = None
 
     def __post_init__(self):
         backend = self.backend
@@ -812,6 +894,11 @@ class EngineConfig:
                 raise ValueError(
                     "max_resident_points must be >= 1, got "
                     f"{self.max_resident_points}")
+        if self.trace_compile is not None and not isinstance(
+                self.trace_compile, bool):
+            raise ValueError(
+                "trace_compile must be True, False or None, got "
+                f"{self.trace_compile!r}")
 
     def resolve(self) -> ExecutionBackend:
         """Concrete backend for this configuration."""
@@ -821,6 +908,7 @@ class EngineConfig:
             checkpoint_interval=self.checkpoint_interval,
             stream=self.stream,
             max_resident_points=self.max_resident_points,
+            trace_compile=self.trace_compile,
         )
 
     def to_dict(self) -> dict:
@@ -841,6 +929,7 @@ class EngineConfig:
             "seed": self.seed,
             "stream": self.stream,
             "max_resident_points": self.max_resident_points,
+            "trace_compile": self.trace_compile,
         }
 
     @classmethod
@@ -857,6 +946,7 @@ class EngineConfig:
             seed=payload.get("seed", 0),
             stream=payload.get("stream"),
             max_resident_points=payload.get("max_resident_points"),
+            trace_compile=payload.get("trace_compile"),
         )
 
 
@@ -920,6 +1010,15 @@ class CampaignEngine:
                 ),
                 "peak_resident_points": stats.peak_resident_points,
                 "emulated_steps": stats.emulated_steps,
+                "trace_compile": getattr(
+                    backend, "trace_compile", False
+                ),
+                "compiled_steps": stats.compiled_steps,
+                "precise_steps": (
+                    stats.emulated_steps - stats.compiled_steps
+                ),
+                "compile_seconds": round(stats.compile_seconds, 6),
+                "compile_divergences": stats.divergences,
             }
         )
 

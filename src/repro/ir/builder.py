@@ -7,8 +7,8 @@ from typing import Optional
 from repro.ir.instructions import (
     Alloca, BinOp, Br, Call, CondBr, ICmp, IntToPtr, Load, Phi, PtrToInt,
     Ret, Select, SExt, Store, Switch, Trunc, Unreachable, ZExt)
-from repro.ir.module import BasicBlock, Function
-from repro.ir.types import I1, I64, IntType, VOID
+from repro.ir.module import BasicBlock
+from repro.ir.types import I64, IntType
 from repro.ir.values import Constant, Value
 
 
@@ -75,7 +75,7 @@ class IRBuilder:
     def select(self, cond, if_true, if_false, name="") -> Select:
         return self._emit(Select(cond, if_true, if_false, name))
 
-    # -- casts -----------------------------------------------------------------
+    # -- casts ----------------------------------------------------------------
 
     def zext(self, value, to_type, name="") -> Value:
         if value.type == to_type:
@@ -98,7 +98,7 @@ class IRBuilder:
     def ptrtoint(self, value, name="") -> PtrToInt:
         return self._emit(PtrToInt(value, name))
 
-    # -- memory -----------------------------------------------------------------
+    # -- memory ---------------------------------------------------------------
 
     def alloca(self, allocated_type, name="") -> Alloca:
         return self._emit(Alloca(allocated_type, name))
@@ -131,5 +131,7 @@ class IRBuilder:
         self.block.insert(self.block.non_phi_index(), phi)
         return phi
 
-    def call(self, vtype, callee: str, args=(), name="") -> Call:
-        return self._emit(Call(vtype, callee, args, name))
+    def call(self, vtype, callee: str, args=(), name="",
+             readonly: bool = False) -> Call:
+        return self._emit(Call(vtype, callee, args, name,
+                               readonly=readonly))

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import IRError
-from repro.ir.types import I1, I64, IntType, PTR, VOID
+from repro.ir.types import I1, I64, PTR, VOID
 from repro.ir.values import Constant, Value
 
 BINOPS = {"add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr",
@@ -236,13 +236,22 @@ class Phi(Instruction):
 
 
 class Call(Instruction):
-    """Direct call to an intrinsic or function by name."""
+    """Direct call to an intrinsic or function by name.
+
+    ``readonly`` declares that the callee neither writes memory nor
+    observes prior writes, so memory-sensitive passes (CSE's load
+    epoch) may look straight through it.  Readonly calls still count
+    as side-effecting for DCE: they are ordering markers (the JIT's
+    flag/register intrinsics) that must survive even when unused.
+    """
 
     opcode = "call"
 
-    def __init__(self, vtype, callee: str, args=(), name=""):
+    def __init__(self, vtype, callee: str, args=(), name="",
+                 readonly: bool = False):
         super().__init__(vtype, tuple(args), name)
         self.callee = callee
+        self.readonly = readonly
 
 
 class Br(Instruction):

@@ -18,7 +18,7 @@ from repro.ir.instructions import (
     Alloca, BinOp, Br, Call, CondBr, ICmp, IntToPtr, Load, Phi, PtrToInt,
     Ret, Select, SExt, Store, Switch, Trunc, Unreachable, ZExt)
 from repro.ir.module import Function
-from repro.ir.values import Argument, Constant, Undef
+from repro.ir.values import Constant, Undef
 
 _MASK64 = (1 << 64) - 1
 
@@ -98,7 +98,7 @@ class Interpreter:
                          stderr=bytes(self.io.stderr),
                          steps=steps, crash_detail=detail)
 
-    # -- evaluation ------------------------------------------------------------
+    # -- evaluation -----------------------------------------------------------
 
     def _value(self, value, env):
         if isinstance(value, Constant):
@@ -225,7 +225,7 @@ class Interpreter:
             "sge": sa >= sb,
         }[i.pred]
 
-    # -- intrinsics ------------------------------------------------------------
+    # -- intrinsics -----------------------------------------------------------
 
     def _call(self, i: Call, env) -> int:
         name = i.callee

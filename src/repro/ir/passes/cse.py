@@ -58,7 +58,9 @@ def cse(function: Function, respect_no_merge: bool = True) -> bool:
         available: dict = {}
         memory_epoch = 0
         for instruction in list(block.instructions):
-            if isinstance(instruction, (Store, Call)):
+            if isinstance(instruction, Store) or (
+                    isinstance(instruction, Call)
+                    and not getattr(instruction, "readonly", False)):
                 memory_epoch += 1
             key = _key(instruction, memory_epoch)
             if key is None:

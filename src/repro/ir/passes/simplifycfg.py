@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.ir.instructions import Br, CondBr, Phi
+from repro.ir.instructions import Br, CondBr
 from repro.ir.module import Function
 from repro.ir.values import Constant
 

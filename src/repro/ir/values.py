@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
-from repro.ir.types import IntType, VOID
+from repro.ir.types import IntType
 
 
 class Value:

@@ -3,9 +3,9 @@
 from __future__ import annotations
 
 from repro.errors import IRError
-from repro.ir.instructions import Alloca, Instruction, Phi
+from repro.ir.instructions import Instruction, Phi
 from repro.ir.module import BasicBlock, Function, IRModule
-from repro.ir.values import Argument, Constant, Undef, Value
+from repro.ir.values import Argument, Constant, Undef
 
 
 def verify(target) -> None:

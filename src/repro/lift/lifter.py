@@ -12,7 +12,6 @@ from repro.gtirb.ir import CodeBlock, Module
 from repro.ir.builder import IRBuilder
 from repro.ir.module import BasicBlock, Function, IRModule
 from repro.ir.types import FunctionType, I64, VOID
-from repro.ir.values import Constant
 from repro.isa.insn import Mnemonic
 from repro.isa.operands import Imm
 from repro.isa.registers import reg as reg_by_name
@@ -80,7 +79,7 @@ class Lifter:
             raise LiftError(f"no code block at {address:#x}")
         return block
 
-    # -- lifting ------------------------------------------------------------------
+    # -- lifting --------------------------------------------------------------
 
     def _lift_guest_block(self, key: tuple):
         address, ctx = key

@@ -19,7 +19,7 @@ from repro.ir.builder import IRBuilder
 from repro.ir.types import I1, I8, I64, IntType, int_type
 from repro.ir.values import Constant
 from repro.isa.cond import Cond
-from repro.isa.insn import Instruction, Mnemonic
+from repro.isa.insn import Instruction
 from repro.isa.operands import Imm, Mem, Reg
 from repro.isa.registers import reg as reg_by_name
 from repro.lift.state import GuestState
@@ -91,7 +91,7 @@ class InstructionTranslator:
                 return operand.size
         return 8
 
-    # -- flag helpers ------------------------------------------------------------
+    # -- flag helpers ---------------------------------------------------------
 
     def _set_zf_sf(self, result):
         b = self.builder
@@ -159,7 +159,7 @@ class InstructionTranslator:
         dst, src = insn.operands
         self.write(dst, insn, self.address_of(src, insn))
 
-    # arithmetic ---------------------------------------------------------------
+    # arithmetic --------------------------------------------------------------
 
     def _arith(self, insn, op: str):
         b = self.builder
@@ -303,7 +303,7 @@ class InstructionTranslator:
     def _lift_sar(self, insn):
         self.write(insn.operands[0], insn, self._shift(insn, "ashr"))
 
-    # stack ----------------------------------------------------------------------
+    # stack -------------------------------------------------------------------
 
     def _lift_push(self, insn):
         b = self.builder
@@ -320,7 +320,7 @@ class InstructionTranslator:
         self.state.write_reg(b, RSP, b.add(rsp, Constant(I64, 8)))
         self.write(insn.operands[0], insn, value)
 
-    # conditional data movement ----------------------------------------------------
+    # conditional data movement -----------------------------------------------
 
     def _lift_setcc(self, insn):
         b = self.builder

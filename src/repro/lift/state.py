@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.ir.builder import IRBuilder
-from repro.ir.types import I1, I8, I32, I64, int_type
+from repro.ir.types import I1, I64, int_type
 from repro.ir.values import Constant
 from repro.isa.registers import Register, all_gpr64, parent_gpr
 
@@ -55,7 +55,7 @@ class GuestState:
             merged = builder.or_(kept, builder.zext(value, I64))
             builder.store(merged, slot)
 
-    # -- flags ------------------------------------------------------------------
+    # -- flags ----------------------------------------------------------------
 
     def read_flag(self, builder: IRBuilder, name: str):
         return builder.load(I1, self.flag_slots[name], name)

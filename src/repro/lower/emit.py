@@ -6,11 +6,10 @@ from repro.asm.source import (
     DataStmt, InsnStmt, LabelDef, Program, SpaceStmt)
 from repro.binfmt.image import Executable
 from repro.errors import LowerError
-from repro.isa.cond import Cond
 from repro.isa.insn import Instruction, Mnemonic
 from repro.isa.operands import Imm, Label, Mem, Reg
 from repro.isa.registers import Register, reg, sub_register
-from repro.lower.mir import MFunction, MImm, MMem, VReg
+from repro.lower.mir import MFunction, MImm, MMem
 
 ABORT_MESSAGE = b"FAULT DETECTED\n"
 ABORT_EXIT_CODE = 42
@@ -105,7 +104,7 @@ class Emitter:
                     data += bytes(section.mem_size - len(data))
                 items.append(DataStmt([data]))
 
-    # -- operand conversion ----------------------------------------------------
+    # -- operand conversion ---------------------------------------------------
 
     @staticmethod
     def _require_reg(operand) -> Register:

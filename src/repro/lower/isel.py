@@ -125,7 +125,7 @@ class ISel:
             self._select(instruction, mblock)
         raise LowerError(f"block {block.name} has no terminator")
 
-    # -- phi copies ------------------------------------------------------------
+    # -- phi copies -----------------------------------------------------------
 
     def _phi_copies(self, block: BasicBlock, mblock: MBlock):
         copies = []
@@ -149,7 +149,7 @@ class ISel:
         for destination, temp in staged:
             mblock.append(MInsn("mov", [destination, temp]))
 
-    # -- terminators ------------------------------------------------------------
+    # -- terminators ----------------------------------------------------------
 
     def _label(self, block: BasicBlock) -> str:
         return self.block_names[id(block)]

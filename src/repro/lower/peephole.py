@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.isa.registers import Register
-from repro.lower.mir import MFunction, MImm, MInsn, MMem, OPCODES, VReg
+from repro.lower.mir import MFunction, MImm, MMem, OPCODES, VReg
 
 _INT32_MIN, _INT32_MAX = -(1 << 31), (1 << 31) - 1
 

@@ -9,11 +9,11 @@ scratch; ``rsi``/``rcx``/``r11`` are syscall argument/clobber space;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Union
 
 from repro.errors import LowerError
 from repro.isa.registers import Register, reg
-from repro.lower.mir import MBlock, MFunction, MImm, MInsn, MMem, VReg
+from repro.lower.mir import MFunction, MInsn, MMem, VReg
 
 POOL = [reg(name) for name in
         ("rbx", "r8", "r9", "r10", "r12", "r13", "r14", "r15")]

@@ -1,0 +1,294 @@
+"""Trace-compiled execution: equivalence, coherence, flag replay.
+
+The compiled tier's contract is bit-identity with the precise stepper
+— same registers, flags, memory, stdout, step counts and crash
+behaviour — which these tests check three ways: whole-program
+differential runs, randomized inline-flag replay against
+:mod:`repro.emu.flagops`, and the coherence edges (self-modifying
+code, fault windows, superblock boundaries).
+"""
+
+import random
+
+from repro.emu.flagops import PARITY_TABLE, Flags
+from repro.emu.jit import TraceCompiler
+from repro.emu.jit.codegen import _Emitter, _inline_flags
+from repro.emu.jit.superblock import MAX_BODY, carve
+from repro.emu.machine import Machine
+from repro.workloads import bootloader, corpus, pincheck
+
+FLAG_NAMES = ("cf", "pf", "af", "zf", "sf", "of")
+
+
+def _state(machine):
+    flags = machine.cpu.flags
+    return (tuple(machine.cpu.regs), machine.cpu.rip,
+            tuple(getattr(flags, name) for name in FLAG_NAMES),
+            bytes(machine.io.stdout))
+
+
+def _run_both(image, stdin=b"", **kwargs):
+    precise = Machine(image, stdin=stdin)
+    result_p = precise.run(**kwargs)
+    compiled = Machine(image, stdin=stdin)
+    TraceCompiler().attach(compiled)
+    result_c = compiled.run(**kwargs)
+    return (precise, result_p), (compiled, result_c)
+
+
+def _assert_identical(image, stdin=b"", **kwargs):
+    (precise, rp), (compiled, rc) = _run_both(image, stdin, **kwargs)
+    assert _state(precise) == _state(compiled)
+    assert rp.behavior() == rc.behavior()
+    assert rp.steps == rc.steps
+
+
+class TestWholeProgramEquivalence:
+    def test_bootloader_both_inputs(self):
+        wl = bootloader.workload(rich=True)
+        image = wl.build()
+        for stdin in (wl.good_input, wl.bad_input):
+            _assert_identical(image, stdin)
+
+    def test_pincheck_both_inputs(self):
+        wl = pincheck.workload()
+        image = wl.build()
+        for stdin in (wl.good_input, wl.bad_input):
+            _assert_identical(image, stdin)
+
+    def test_corpus_programs(self):
+        for name in ("exit42", "arith", "stack_ops", "call_ret",
+                     "unary_ops", "shifts_by_cl", "byte_loop",
+                     "memwrites"):
+            _assert_identical(corpus.build(name))
+
+    def test_compiled_tier_actually_engages(self):
+        wl = bootloader.workload(rich=True)
+        machine = Machine(wl.build(), stdin=wl.bad_input)
+        compiler = TraceCompiler().attach(machine)
+        result = machine.run()
+        assert compiler.compiled_blocks > 0
+        assert compiler.compiled_steps > result.steps // 2
+
+    def test_step_budget_never_overshoots(self):
+        wl = bootloader.workload(rich=True)
+        for budget in (1, 2, 7, 64, 150):
+            _assert_identical(wl.build(), wl.bad_input,
+                              max_steps=budget)
+
+
+class TestFaultWindows:
+    """Fault steps always run on the precise stepper, mid-block too."""
+
+    def test_fault_inside_superblock(self):
+        # steps 3..8 land inside the first carved superblocks; a
+        # fault plan entry there must split compiled execution
+        wl = bootloader.workload(rich=True)
+        image = wl.build()
+        from repro.faulter.models import model_by_name
+        model = model_by_name("skip")
+        probe = Machine(image, stdin=wl.bad_input)
+        trace = probe.run(record_trace=True).trace
+        for step in (0, 3, 5, 17, 40, len(trace) - 2):
+            insn = Machine(image).fetch_decode(trace[step])
+            variants = model.variants(insn, None)
+            if not variants:
+                continue
+            plan = {step: model.effect(variants[0])}
+            _assert_identical(image, wl.bad_input, fault_plan=plan)
+
+    def test_fault_window_straddles_block_boundary(self):
+        # two plan entries bracketing a superblock boundary: the jit
+        # must stop before each and resume between them
+        wl = bootloader.workload(rich=True)
+        image = wl.build()
+        from repro.faulter.models import model_by_name
+        model = model_by_name("skip")
+        probe = Machine(image, stdin=wl.bad_input)
+        trace = probe.run(record_trace=True).trace
+        pairs = [(4, 9), (10, 30), (2, len(trace) - 3)]
+        for first, second in pairs:
+            plan = {}
+            for step in (first, second):
+                insn = Machine(image).fetch_decode(trace[step])
+                variants = model.variants(insn, None)
+                if variants:
+                    plan[step] = model.effect(variants[0])
+            if plan:
+                _assert_identical(image, wl.bad_input,
+                                  fault_plan=plan)
+
+    def test_checkpoint_boundaries_stay_exact(self):
+        wl = bootloader.workload(rich=True)
+        image = wl.build()
+        sinks = []
+        for jit in (False, True):
+            machine = Machine(image, stdin=wl.bad_input)
+            if jit:
+                TraceCompiler().attach(machine)
+            sink = []
+            machine.run(checkpoint_interval=16, checkpoint_sink=sink)
+            sinks.append([(cp.step, cp.rip, tuple(cp.regs))
+                          for cp in sink])
+        assert sinks[0] == sinks[1]
+
+
+SELF_MODIFYING = """
+# patches the imm byte of "mov rdi, 42" from inside the same
+# superblock; compiled execution must abort, roll back, and let the
+# precise stepper re-run the store (exit 43, not 42)
+.text
+.global _start
+_start:
+    lea rsi, [rel patch]
+    mov al, 43
+    mov byte ptr [rsi+3], al
+patch:
+    mov rdi, 42
+    mov rax, 60
+    syscall
+"""
+
+
+class TestCoherence:
+    def test_self_modifying_block_aborts_and_reruns(self):
+        from repro.asm import assemble
+        image = assemble(SELF_MODIFYING)
+
+        def machine():
+            m = Machine(image)
+            # .text assembles r-x; make it writable so the guest
+            # store is legal and the abort path (not a crash) runs
+            m.memory.map(m.cpu.rip & ~0xFFF, 0x1000, "rwx")
+            return m
+
+        precise = machine()
+        assert precise.run().exit_code == 43
+        compiled = machine()
+        compiler = TraceCompiler().attach(compiled)
+        result = compiled.run()
+        assert result.exit_code == 43
+        assert compiler.divergences >= 1
+
+    def test_poke_into_code_evicts_compiled_block(self):
+        image = corpus.build("exit42")
+        warm = Machine(image)
+        compiler = TraceCompiler().attach(warm)
+        entry = warm.cpu.rip
+        assert warm.run().exit_code == 42  # compiles the entry block
+        machine = Machine(image)
+        compiler.attach(machine)  # pristine blocks survive the rebind
+        target = entry + machine.fetch_decode(entry).length
+        machine.memory.poke(target + 3, b"\x2b")
+        assert machine.run().exit_code == 43  # stale block would be 42
+
+    def test_restore_keeps_pristine_blocks(self):
+        wl = bootloader.workload(rich=True)
+        machine = Machine(wl.build(), stdin=wl.bad_input)
+        compiler = TraceCompiler().attach(machine)
+        sink = []
+        machine.run(checkpoint_interval=32, checkpoint_sink=sink)
+        compiled = compiler.compiled_blocks
+        assert compiled > 0
+        machine.restore_checkpoint(sink[0])
+        # nothing wrote executable pages, so no block was evicted
+        assert compiler.compiled_blocks == compiled
+        assert len(compiler._blocks) > 0
+
+
+class TestSuperblockCarving:
+    def test_carve_stops_at_syscall(self):
+        machine = Machine(corpus.build("exit42"))
+        body, terminator = carve(machine, machine.cpu.rip)
+        assert [insn.name for insn in body] == ["mov", "mov"]
+        assert terminator is None
+
+    def test_carve_compiles_direct_terminators(self):
+        machine = Machine(corpus.build("infinite_loop"))
+        body, terminator = carve(machine, machine.cpu.rip)
+        assert body == []
+        assert terminator is not None and terminator.name == "jmp"
+
+    def test_carve_respects_max_body(self):
+        source = [".text", ".global _start", "_start:"]
+        source += ["    inc rax"] * (MAX_BODY + 10)
+        source += ["    mov rax, 60", "    syscall"]
+        from repro.asm import assemble
+        machine = Machine(assemble("\n".join(source)))
+        body, terminator = carve(machine, machine.cpu.rip)
+        assert len(body) == MAX_BODY
+        assert terminator is None
+
+
+class TestInlineFlagReplay:
+    """The open-coded flag expansions match flagops bit-for-bit.
+
+    Promised by the codegen docstring: every inline expansion is a
+    literal transcription of the matching ``Flags.set_*`` method,
+    checked here on randomized operands at every width.
+    """
+
+    WIDTHS = (8, 32, 64)
+
+    def _run_inline(self, kind, values, bits, flags):
+        emitter = _Emitter()
+        lines = _inline_flags(
+            emitter, kind, [repr(v) for v in values], bits)
+        assert lines is not None
+        source = "def replay(flags):\n" + "".join(
+            f"    {line}\n" for line in lines)
+        namespace = {"_PT": PARITY_TABLE}
+        exec(source, namespace)
+        namespace["replay"](flags)
+
+    def _check(self, kind, values, bits, reference):
+        for initial_cf in (False, True):
+            expect = Flags()
+            expect.cf = initial_cf
+            reference(expect)
+            actual = Flags()
+            actual.cf = initial_cf
+            self._run_inline(kind, values, bits, actual)
+            got = tuple(getattr(actual, n) for n in FLAG_NAMES)
+            want = tuple(getattr(expect, n) for n in FLAG_NAMES)
+            assert got == want, (kind, values, bits, got, want)
+
+    def test_randomized_against_flagops(self):
+        rng = random.Random(20260808)
+        for bits in self.WIDTHS:
+            mask = (1 << bits) - 1
+            samples = [0, 1, mask, mask >> 1, (mask >> 1) + 1] + [
+                rng.randrange(mask + 1) for _ in range(40)]
+            for a in samples:
+                b = rng.randrange(mask + 1)
+                self._check("add", (a, b), bits,
+                            lambda f: f.set_add(a, b, bits))
+                self._check("sub", (a, b), bits,
+                            lambda f: f.set_sub(a, b, bits))
+                self._check("imul", (a, b), bits,
+                            lambda f: f.set_imul(a, b, bits))
+                self._check("logic", (a & b,), bits,
+                            lambda f: f.set_logic_result(a & b, bits))
+                self._check("inc", (a,), bits,
+                            lambda f: f.set_inc(a, bits))
+                self._check("dec", (a,), bits,
+                            lambda f: f.set_dec(a, bits))
+                self._check("neg", (a,), bits,
+                            lambda f: f.set_neg(a, bits))
+
+    def test_randomized_constant_shifts(self):
+        rng = random.Random(99)
+        for bits in self.WIDTHS:
+            mask = (1 << bits) - 1
+            counts = [1, 2, bits - 1, bits, bits + 1, 63]
+            counts = sorted({c & (0x3F if bits == 64 else 0x1F)
+                             for c in counts} - {0})
+            for count in counts:
+                for _ in range(20):
+                    a = rng.randrange(mask + 1)
+                    self._check("shl", (a, count), bits,
+                                lambda f: f.set_shl(a, count, bits))
+                    self._check("shr", (a, count), bits,
+                                lambda f: f.set_shr(a, count, bits))
+                    self._check("sar", (a, count), bits,
+                                lambda f: f.set_sar(a, count, bits))

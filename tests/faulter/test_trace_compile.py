@@ -1,0 +1,126 @@
+"""Campaign bit-identity with the trace-compiled tier on vs off.
+
+The compiled tier is a pure performance substrate: every campaign
+report — outcomes, per-point classifications, emulated step counts —
+must be bit-identical to the precise interpreter across every fault
+model, backend, streaming mode and workload.  ``trace_compile=False``
+is the differential baseline these tests compare against.
+"""
+
+import pytest
+
+from repro.faulter import (
+    MultiprocessBackend,
+    SampledSpace,
+    SequentialBackend,
+)
+from repro.faulter.engine import EngineConfig, resolve_backend
+from repro.faulter.models import MODELS
+from repro.workloads import bootloader, corpus, pincheck
+
+WORKLOADS = {
+    "pincheck": pincheck.workload,
+    "bootloader": lambda: bootloader.workload(rich=True),
+    "exitgate": corpus.exitgate_workload,
+}
+
+
+@pytest.fixture(scope="module")
+def faulters():
+    return {name: factory().target().faulter()
+            for name, factory in WORKLOADS.items()}
+
+
+def _run(faulter, model, backend):
+    space = SampledSpace(samples=24, seed=11)
+    return faulter.engine().run(model, space, backend=backend)
+
+
+def _assert_identical(faulter, model, on, off):
+    compiled = _run(faulter, model, on)
+    precise = _run(faulter, model, off)
+    assert compiled == precise  # outcomes, faults, classifications
+    assert (compiled.meta["emulated_steps"]
+            == precise.meta["emulated_steps"])
+    assert compiled.meta["trace_compile"] is True
+    assert precise.meta["trace_compile"] is False
+    assert precise.meta["compiled_steps"] == 0
+    assert (compiled.meta["compiled_steps"]
+            + compiled.meta["precise_steps"]
+            == compiled.meta["emulated_steps"])
+
+
+class TestEveryModelBitIdentical:
+    """All registered fault models, checkpointed sequential backend."""
+
+    @pytest.mark.parametrize("model", sorted(MODELS))
+    def test_model(self, faulters, model):
+        _assert_identical(
+            faulters["bootloader"], model,
+            SequentialBackend(checkpoint_interval=64),
+            SequentialBackend(checkpoint_interval=64,
+                              trace_compile=False))
+
+
+class TestBackendsAndStreaming:
+    """skip model across backends x stream x workloads."""
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    @pytest.mark.parametrize("stream", (True, False))
+    def test_sequential_master_walk(self, faulters, workload, stream):
+        _assert_identical(
+            faulters[workload], "skip",
+            SequentialBackend(stream=stream),
+            SequentialBackend(stream=stream, trace_compile=False))
+
+    @pytest.mark.parametrize("workload", sorted(WORKLOADS))
+    def test_sequential_checkpointed(self, faulters, workload):
+        _assert_identical(
+            faulters[workload], "skip",
+            SequentialBackend(checkpoint_interval=16),
+            SequentialBackend(checkpoint_interval=16,
+                              trace_compile=False))
+
+    @pytest.mark.parametrize("stream", (True, False))
+    def test_multiprocess(self, faulters, stream):
+        _assert_identical(
+            faulters["bootloader"], "skip",
+            MultiprocessBackend(workers=2, checkpoint_interval=64,
+                                stream=stream),
+            MultiprocessBackend(workers=2, checkpoint_interval=64,
+                                stream=stream, trace_compile=False))
+
+    def test_multiprocess_aggregates_worker_counters(self, faulters):
+        report = _run(
+            faulters["bootloader"], "skip",
+            MultiprocessBackend(workers=2, checkpoint_interval=64))
+        assert report.meta["compiled_steps"] > 0
+        assert report.meta["compile_seconds"] >= 0.0
+
+
+class TestKnobPlumbing:
+    def test_engine_config_roundtrip(self):
+        config = EngineConfig(trace_compile=False)
+        assert (EngineConfig.from_dict(config.to_dict()).trace_compile
+                is False)
+        assert EngineConfig().to_dict()["trace_compile"] is None
+
+    def test_engine_config_validates(self):
+        with pytest.raises(ValueError, match="trace_compile"):
+            EngineConfig(trace_compile="yes")
+
+    def test_resolve_backend_plumbs_the_knob(self):
+        backend = resolve_backend(None, trace_compile=False)
+        assert backend.trace_compile is False
+        backend = resolve_backend("multiprocess", trace_compile=False)
+        assert backend.trace_compile is False
+        assert resolve_backend(None).trace_compile is True
+
+    def test_resolve_backend_instance_conflict(self):
+        instance = SequentialBackend()
+        with pytest.raises(ValueError, match="trace_compile"):
+            resolve_backend(instance, trace_compile=False)
+
+    def test_default_is_on(self):
+        assert SequentialBackend().trace_compile is True
+        assert MultiprocessBackend().trace_compile is True
