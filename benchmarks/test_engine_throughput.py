@@ -28,9 +28,12 @@ peak-resident-fault-points gauge are recorded in
 ``BENCH_campaign.json`` at the repo root.  A ``models`` section adds a
 state-family row (a sampled ``reg-bitflip`` campaign on the
 checkpointed backend), so the fault-effect protocol's hot path is on
-the same perf trajectory as the classic fetch faults.  CI's ``bench``
-job diffs a fresh run of this file against the committed JSON and
-fails on >25% throughput regression
+the same perf trajectory as the classic fetch faults, and a
+``k2-reduced`` row (a dense k=2 ``flag-stuck`` pair product with
+equivalence reduction on, see ``repro.faulter.reduction``) that must
+emulate at least 5x fewer steps than the full product while staying
+bit-identical.  CI's ``bench`` job diffs a fresh run of this file
+against the committed JSON and fails on >25% throughput regression
 (``benchmarks/check_regression.py``).
 """
 
@@ -43,6 +46,7 @@ from conftest import once
 
 from repro.faulter import (
     Faulter, MultiprocessBackend, SampledSpace, SequentialBackend)
+from repro.faulter.space import ProductSpace
 from repro.workloads import bootloader
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -59,6 +63,13 @@ CHECKPOINT_INTERVAL = 64
 # the run, so each faulted replay tends to execute the full suffix)
 STATE_MODEL = "reg-bitflip"
 STATE_SAMPLES = 192
+# k=2 row: dense flag-stuck pair product over a strided subset of the
+# flag-consuming offsets — the space equivalence reduction flattens
+# hardest; the gate requires >= 5x fewer emulated steps than the full
+# product, bit-identically
+K2_MODEL = "flag-stuck"
+K2_OFFSET_STRIDE = 9
+K2_MIN_SPEEDUP = 5.0
 
 
 def _measure(faulter, backend, model="skip", samples=SAMPLES):
@@ -158,6 +169,46 @@ def test_engine_throughput(benchmark, record):
         }
     }
 
+    # k=2 row: the reduced pair campaign must cover the full product
+    # bit-identically while emulating >= K2_MIN_SPEEDUP x fewer steps
+    ctx = faulter.engine().context(K2_MODEL)
+    offsets = [step for step in range(len(ctx.trace))
+               if ctx.variants(step)]
+    pair_space = ProductSpace(
+        k=2, indices=tuple(offsets[::K2_OFFSET_STRIDE]))
+    full_start = time.perf_counter()
+    full_pairs = faulter.engine().run(
+        K2_MODEL, pair_space,
+        backend=SequentialBackend(), reduce=False)
+    full_elapsed = time.perf_counter() - full_start
+    reduced_start = time.perf_counter()
+    reduced_pairs = faulter.engine().run(
+        K2_MODEL, pair_space,
+        backend=SequentialBackend(), reduce=True)
+    reduced_elapsed = time.perf_counter() - reduced_start
+    assert reduced_pairs == full_pairs
+    full_pair_steps = full_pairs.meta["emulated_steps"]
+    reduced_pair_steps = reduced_pairs.meta["emulated_steps"]
+    step_speedup = full_pair_steps / max(1, reduced_pair_steps)
+    assert step_speedup >= K2_MIN_SPEEDUP, (
+        f"k=2 reduction speedup {step_speedup:.1f}x is below the "
+        f"{K2_MIN_SPEEDUP}x floor")
+    models["k2-reduced"] = {
+        "wall_seconds": round(reduced_elapsed, 4),
+        "model": K2_MODEL,
+        "k_faults": 2,
+        "faults": reduced_pairs.total_faults,
+        "faults_per_second": round(
+            reduced_pairs.total_faults / reduced_elapsed, 2)
+        if reduced_elapsed else None,
+        "emulated_steps": reduced_pair_steps,
+        "executed_points":
+            reduced_pairs.meta["reduction"]["executed_points"],
+        "full_emulated_steps": full_pair_steps,
+        "full_wall_seconds": round(full_elapsed, 4),
+        "step_speedup": round(step_speedup, 1),
+    }
+
     payload = {
         "benchmark": "engine-throughput",
         "workload": wl.name,
@@ -193,6 +244,9 @@ def test_engine_throughput(benchmark, record):
         f"  checkpoint replay saves {saved} emulated steps "
         f"({payload['checkpoint_step_reduction_percent']}%) vs "
         "prefix re-execution",
+        f"  k=2 {K2_MODEL} pairs: equivalence reduction emulates "
+        f"{step_speedup:.1f}x fewer steps than the full product "
+        f"({full_pair_steps} -> {reduced_pair_steps}), bit-identically",
         f"  [written to {BENCH_PATH.name}]",
     ]
     record("BENCH_campaign", "\n".join(lines))

@@ -1,4 +1,4 @@
-"""Rewrite to Reinforce — binary rewriting for fault-injection countermeasures.
+"""Rewrite to Reinforce — rewriting against fault-injection attacks.
 
 Reproduction of Kiaei et al., "Rewrite to Reinforce: Rewriting the Binary
 to Apply Countermeasures against Fault Injection" (DAC 2021).

@@ -15,7 +15,7 @@ from repro.gtirb.cfg import build_cfg
 from repro.gtirb.ir import CodeBlock, Module
 from repro.isa.insn import Mnemonic
 from repro.isa.metadata import effects
-from repro.isa.operands import Imm, Mem, Reg
+from repro.isa.operands import Imm, Reg
 from repro.isa.registers import parent_gpr
 
 _MASK64 = (1 << 64) - 1

@@ -210,10 +210,12 @@ class Target:
             for model in models:
                 report = faulter.run_k_fault_campaign(
                     model, k=config.k_faults, samples=config.samples,
-                    seed=config.seed, backend=backend)
+                    seed=config.seed, backend=backend,
+                    reduce=config.reduce)
                 reports[report.model] = report
             return reports
-        return faulter.run_all(models, backend=backend)
+        return faulter.run_all(models, backend=backend,
+                               reduce=config.reduce)
 
     def harden(self,
                approach: str = "faulter+patcher",

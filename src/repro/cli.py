@@ -2,8 +2,8 @@
 
 Subcommands::
 
-    r2r fault   TARGET.elf --good HEX --bad HEX --marker TEXT
-                [--model M] [engine knobs] [--k-faults K]
+    r2r fault   TARGET --good HEX --bad HEX --marker TEXT
+                [--model M] [engine knobs] [-k K]
                 [--samples S] [--seed SEED]
     r2r harden  TARGET.elf -o OUT.elf --approach A
                 [--evaluate [engine knobs]]
@@ -13,20 +13,21 @@ Subcommands::
     r2r disasm  TARGET.elf
 
 The engine knobs — ``--backend``, ``--checkpoint-interval``,
-``--workers``, ``--stream/--no-stream``, ``--max-resident-points`` —
-are declared once in a shared parent parser and map onto one
-:class:`~repro.api.EngineConfig`; ``--approach`` choices derive from
-the :data:`repro.hardening.HARDENING_APPROACHES` registry and
-``--model`` choices from the fault-model registry, so registered
-third-party approaches and models surface on every subcommand without
-touching this module.
+``--workers``, ``--stream/--no-stream``, ``--max-resident-points``,
+``--reduce/--no-reduce`` — are declared once in a shared parent parser
+and map onto one :class:`~repro.api.EngineConfig`; ``--approach``
+choices derive from the
+:data:`repro.hardening.HARDENING_APPROACHES` registry and ``--model``
+choices from the fault-model registry, so registered third-party
+approaches and models surface on every subcommand without touching
+this module.
 
 Inputs are passed as hex strings (``--good 31323334``) or with a
-``text:`` prefix (``--good text:1234``).  ``compare`` (and only
-``compare``) also accepts a bundled workload name (``pincheck``/
-``bootloader``/``corpus``/``exitgate``) as TARGET, in which case the
-workload's own campaign inputs *and oracle* are used — ``exitgate``
-runs the whole differential loop under an exit-code oracle.
+``text:`` prefix (``--good text:1234``).  ``fault`` and ``compare``
+also accept a bundled workload name (``pincheck``/``bootloader``/
+``corpus``/``exitgate``) as TARGET, in which case the workload's own
+campaign inputs *and oracle* are used — ``exitgate`` runs the whole
+differential loop under an exit-code oracle.
 """
 
 from __future__ import annotations
@@ -135,6 +136,13 @@ def _engine_parent() -> argparse.ArgumentParser:
                             "through the trace-compiled tier "
                             "(default: on; --no-trace-compile keeps "
                             "every step on the precise interpreter)")
+    group.add_argument("--reduce", default=None,
+                       action=argparse.BooleanOptionalAction,
+                       help="prune provably-dead and equivalent fault "
+                            "points before execution, reporting the "
+                            "elided verdicts through the reduction "
+                            "certificate (default: on; --no-reduce "
+                            "forces the full enumeration)")
     return parent
 
 
@@ -149,7 +157,8 @@ def _engine_config(args) -> EngineConfig:
         seed=getattr(args, "seed", 0),
         stream=args.stream,
         max_resident_points=args.max_resident_points,
-        trace_compile=args.trace_compile)
+        trace_compile=args.trace_compile,
+        reduce=args.reduce)
 
 
 def _file_target(args) -> Target:
@@ -159,7 +168,7 @@ def _file_target(args) -> Target:
                   name=args.target)
 
 
-def _resolve_compare_target(args) -> Target:
+def _resolve_target(args, prog: str) -> Target:
     """Target for an ELF path or a bundled workload name."""
     if args.target in WORKLOADS and not os.path.exists(args.target):
         wl = WORKLOADS[args.target]()
@@ -179,15 +188,24 @@ def _resolve_compare_target(args) -> Target:
                if not value]
     if missing:
         raise SystemExit(
-            f"r2r compare: error: {', '.join(missing)} required "
+            f"r2r {prog}: error: {', '.join(missing)} required "
             f"for file targets")
     return _file_target(args)
+
+
+def _print_reduction(meta: dict) -> None:
+    from repro.faulter.reduction import ReductionCertificate
+    payload = meta.get("reduction")
+    if payload is None:
+        return
+    print("  " + ReductionCertificate.from_dict(payload).summary())
 
 
 def _cmd_fault(args) -> int:
     try:
         config = _engine_config(args)
-        reports = _file_target(args).campaign(args.model, config)
+        reports = _resolve_target(args, "fault").campaign(
+            args.model, config)
     except ValueError as exc:
         # conflicting engine knobs (exit 2: distinct from "vulnerable")
         print(f"r2r fault: error: {exc}", file=sys.stderr)
@@ -201,6 +219,7 @@ def _cmd_fault(args) -> int:
                   f"(trace_compile={meta['trace_compile']}, "
                   f"{meta['compile_divergences']} divergences, "
                   f"compile {meta['compile_seconds']}s)")
+            _print_reduction(meta)
     return 0 if not any(r.vulnerable for r in reports.values()) else 1
 
 
@@ -233,7 +252,7 @@ def _cmd_harden(args) -> int:
 
 
 def _cmd_compare(args) -> int:
-    target = _resolve_compare_target(args)
+    target = _resolve_target(args, "compare")
     try:
         evaluation = target.evaluate(
             approach=args.approach, models=args.model,
@@ -296,9 +315,12 @@ def build_parser() -> argparse.ArgumentParser:
     approach_choices = sorted(HARDENING_APPROACHES)
 
     fault = sub.add_parser("fault", help="run fault campaigns",
-                           parents=[inputs, model, engine])
-    fault.add_argument("target")
-    fault.add_argument("--k-faults", type=int, default=1,
+                           parents=[inputs_optional, model, engine])
+    fault.add_argument("target",
+                       help="an ELF path, or a bundled workload "
+                            "name (pincheck/bootloader/corpus/"
+                            "exitgate)")
+    fault.add_argument("-k", "--k-faults", type=int, default=1,
                        help="faults injected per run (k > 1 samples "
                             "k-tuples along the trace)")
     fault.add_argument("--samples", type=int, default=200,

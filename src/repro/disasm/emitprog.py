@@ -14,7 +14,7 @@ from repro.asm.source import (
 from repro.errors import RewriteError
 from repro.gtirb.ir import CodeBlock, Module, SymExpr
 from repro.isa.insn import Instruction
-from repro.isa.operands import Imm, Label, Mem
+from repro.isa.operands import Label, Mem
 from repro.isa.registers import RIP
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from repro.errors import RewriteError
 from repro.gtirb.ir import CodeBlock, DataBlock, InsnEntry, Module, SymExpr
-from repro.isa.insn import Instruction, Mnemonic
+from repro.isa.insn import Mnemonic
 from repro.isa.operands import Imm, Mem, Reg
 
 _SIZE_NAMES = {1: "byte", 2: "word", 4: "dword", 8: "qword"}

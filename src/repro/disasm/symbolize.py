@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 from repro.binfmt.image import Executable
 from repro.gtirb.ir import (
-    CodeBlock, DataBlock, GSection, InsnEntry, Module, SymExpr, Symbol)
+    DataBlock, InsnEntry, Module, SymExpr, Symbol)
 from repro.isa.insn import Mnemonic
 from repro.isa.operands import Imm, Mem
 
@@ -195,7 +195,7 @@ def symbolize(module: Module, exe: Executable, mode: str = "refined"):
             block.items = [
                 _to_symexpr(item, symbol_for) for item in block.items]
 
-    # ---- entry symbol --------------------------------------------------------
+    # ---- entry symbol ---------------------------------------------------
     entry_block = code_by_addr.get(exe.entry)
     entry_name = name_by_addr.get(exe.entry)
     if exe.entry in made:

@@ -41,7 +41,9 @@ class MemoryFault(EmulationError):
     """Out-of-bounds or permission-violating guest memory access."""
 
     def __init__(self, address, size, kind):
-        super().__init__(f"memory fault: {kind} of {size} byte(s) at {address:#x}")
+        super().__init__(
+            f"memory fault: {kind} of {size} byte(s) at {address:#x}"
+        )
         self.address = address
         self.size = size
         self.kind = kind

@@ -156,6 +156,7 @@ class Faulter:
         checkpoint_interval: int | float | None = None,
         stream: bool | None = None,
         max_resident_points: int | None = None,
+        reduce: bool | None = None,
     ) -> CampaignReport:
         """Inject every fault ``model`` expresses along the bad-input
         trace.
@@ -166,8 +167,11 @@ class Faulter:
         backend (name or instance; default sequential),
         ``checkpoint_interval`` switches the sequential backend from
         master-walk suffix replay to checkpoint replay, ``stream``
-        toggles bounded streaming execution (default on), and
-        ``max_resident_points`` sizes its reorder window.
+        toggles bounded streaming execution (default on),
+        ``max_resident_points`` sizes its reorder window, and
+        ``reduce`` toggles equivalence reduction (default on; the
+        report covers the full space either way, see
+        :mod:`repro.faulter.reduction`).
         """
         if trace_window is None:
             space = ExhaustiveSpace()
@@ -184,6 +188,7 @@ class Faulter:
             space,
             backend=backend,
             collect_outcomes=collect_outcomes,
+            reduce=reduce,
         )
 
     # -- multi-fault campaigns (extension) --------------------------------
@@ -198,6 +203,7 @@ class Faulter:
         checkpoint_interval: int | float | None = None,
         stream: bool | None = None,
         max_resident_points: int | None = None,
+        reduce: bool | None = None,
     ) -> CampaignReport:
         """``k`` faults per run, sampled along the bad-input trace.
 
@@ -220,6 +226,7 @@ class Faulter:
             space,
             backend=backend,
             target=f"{self.name}({suffix})",
+            reduce=reduce,
         )
 
     def run_pair_campaign(
@@ -227,10 +234,11 @@ class Faulter:
         model: FaultModel | str,
         samples: int = 200,
         seed: int = 0,
+        reduce: bool | None = None,
     ) -> CampaignReport:
         """Double-fault campaign: two faults per run, sampled."""
         return self.run_k_fault_campaign(
-            model, k=2, samples=samples, seed=seed
+            model, k=2, samples=samples, seed=seed, reduce=reduce
         )
 
     # -- multi-model convenience ------------------------------------------

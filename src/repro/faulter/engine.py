@@ -50,6 +50,7 @@ from dataclasses import dataclass
 from multiprocessing import get_context
 from typing import Iterator, Optional, Sequence
 
+from repro.analysis.traceflow import TraceFacts
 from repro.binfmt.reader import read_elf
 from repro.binfmt.writer import write_elf
 from repro.emu.cpu import ExitProgram, Halt
@@ -57,6 +58,7 @@ from repro.emu.jit import TraceCompiler
 from repro.emu.machine import MAX_STEPS, CheckpointStore, Machine
 from repro.errors import DecodingError, EmulationError
 from repro.faulter.models import FaultModel, model_by_name
+from repro.faulter.reduction import plan_reduction
 from repro.faulter.report import (
     CampaignReport,
     CampaignReportBuilder,
@@ -167,7 +169,39 @@ def build_space_context(
         except (DecodingError, EmulationError):
             return "?"
 
-    return SpaceContext(model, trace, variants_at, mnemonic_at)
+    def insn_at(step: int):
+        try:
+            return probe.fetch_decode(trace[step])
+        except (IndexError, DecodingError, EmulationError):
+            return None
+
+    def window_at(step: int):
+        try:
+            return bytes(probe.memory.fetch(trace[step], 15))
+        except (IndexError, DecodingError, EmulationError):
+            return None
+
+    def flag_replay() -> list:
+        # pre-step ZF/CF/SF along the bad-input trace, re-derived
+        # deterministically (same discipline as the trace itself)
+        machine = Machine(image, stdin=bad_input)
+        states: list[dict] = []
+        for _ in range(len(trace)):
+            flags = machine.cpu.flags
+            states.append(
+                {"zf": flags.zf, "cf": flags.cf, "sf": flags.sf}
+            )
+            if not _master_step(machine):
+                break
+        return states
+
+    def facts_factory() -> TraceFacts:
+        return TraceFacts(trace, insn_at, window_at, flag_replay)
+
+    return SpaceContext(
+        model, trace, variants_at, mnemonic_at,
+        facts_factory=facts_factory,
+    )
 
 
 class _MasterWalkExecutor:
@@ -857,6 +891,7 @@ class EngineConfig:
     stream: Optional[bool] = None
     max_resident_points: Optional[int] = None
     trace_compile: Optional[bool] = None
+    reduce: Optional[bool] = None
 
     def __post_init__(self):
         backend = self.backend
@@ -899,6 +934,11 @@ class EngineConfig:
             raise ValueError(
                 "trace_compile must be True, False or None, got "
                 f"{self.trace_compile!r}")
+        if self.reduce is not None and not isinstance(
+                self.reduce, bool):
+            raise ValueError(
+                "reduce must be True, False or None, got "
+                f"{self.reduce!r}")
 
     def resolve(self) -> ExecutionBackend:
         """Concrete backend for this configuration."""
@@ -930,6 +970,7 @@ class EngineConfig:
             "stream": self.stream,
             "max_resident_points": self.max_resident_points,
             "trace_compile": self.trace_compile,
+            "reduce": self.reduce,
         }
 
     @classmethod
@@ -947,6 +988,7 @@ class EngineConfig:
             stream=payload.get("stream"),
             max_resident_points=payload.get("max_resident_points"),
             trace_compile=payload.get("trace_compile"),
+            reduce=payload.get("reduce"),
         )
 
 
@@ -980,13 +1022,38 @@ class CampaignEngine:
         backend: ExecutionBackend | str | None = None,
         collect_outcomes: bool = False,
         target: Optional[str] = None,
+        reduce: Optional[bool] = None,
     ) -> CampaignReport:
         """Execute ``space`` on ``backend``; fold the streamed
-        outcomes into one report incrementally."""
+        outcomes into one report incrementally.
+
+        ``reduce`` toggles equivalence reduction
+        (:mod:`repro.faulter.reduction`): ``None``/``True`` prune the
+        space when a plan applies (the report still covers every point
+        of the full space, with elided points inheriting their proven
+        verdicts and ``meta["reduction"]`` carrying the certificate);
+        ``False`` forces the full enumeration, for bit-identity
+        checks.
+        """
         if isinstance(model, str):
             model = model_by_name(model)
         ctx = self.context(model)
         backend = resolve_backend(backend)
+        plan = None
+        if reduce is False:
+            reduction_meta: dict = {
+                "enabled": False, "reason": "disabled"
+            }
+        else:
+            plan, reason = plan_reduction(
+                self.faulter,
+                model,
+                ctx,
+                space,
+                trace_compile=getattr(backend, "trace_compile", True),
+            )
+            if plan is None:
+                reduction_meta = {"enabled": False, "reason": reason}
         stats = ExecutionStats()
         builder = CampaignReportBuilder(
             target=target if target is not None else self.faulter.name,
@@ -995,10 +1062,19 @@ class CampaignEngine:
             fault_for=lambda point: self._fault_for(point, ctx, model),
             collect_outcomes=collect_outcomes,
         )
-        for point, outcome in backend.iter_outcomes(
-            self.faulter, model, space, ctx, stats
-        ):
-            builder.add(point, outcome)
+        if plan is None:
+            for point, outcome in backend.iter_outcomes(
+                self.faulter, model, space, ctx, stats
+            ):
+                builder.add(point, outcome)
+        else:
+            executed = backend.iter_outcomes(
+                self.faulter, model, plan.space, ctx, stats
+            )
+            for point, outcome in plan.expand(executed):
+                builder.add(point, outcome)
+            plan.merge_stats(stats)
+            reduction_meta = plan.certificate().to_dict()
         return builder.finish(
             meta={
                 "backend": backend.name,
@@ -1019,6 +1095,7 @@ class CampaignEngine:
                 ),
                 "compile_seconds": round(stats.compile_seconds, 6),
                 "compile_divergences": stats.divergences,
+                "reduction": reduction_meta,
             }
         )
 

@@ -78,6 +78,32 @@ class FaultModel:
     def describe(self, detail: tuple) -> str:
         return self.name
 
+    def prune_variant(self, step: int, detail: tuple, facts):
+        """Equivalence-reduction hook: prove one variant redundant.
+
+        ``facts`` is a :class:`repro.analysis.traceflow.TraceFacts`
+        over the bad-input trace.  Returns a
+        :class:`~repro.analysis.traceflow.VariantPrune` — a *dead*
+        proof (the faulted run is bit-identical to the unfaulted
+        continuation) or a *crash* proof (the faulted step itself
+        raises) — or ``None`` when no proof applies.  The base model
+        proves nothing; models whose faults persist beyond the step
+        (``mem-bitflip``) or always redirect control
+        (``branch-invert``) keep this default.
+        """
+        return None
+
+    def variant_class(self, step: int, detail: tuple, facts):
+        """Equivalence-reduction hook: key variants with identical
+        live-state effect.
+
+        Variants mapping to the same (hashable) key are interchangeable
+        under a total-cap space: one representative is executed and its
+        verdict reused for the class.  ``None`` leaves the variant
+        unmerged.
+        """
+        return None
+
 
 class EncodingFaultModel(FaultModel):
     """Faults perturbing the instruction fetch (encoding corruption)."""
@@ -111,6 +137,12 @@ class InstructionSkip(EncodingFaultModel):
     def describe(self, detail: tuple) -> str:
         return "skip"
 
+    def prune_variant(self, step, detail, facts):
+        # dead when the skipped instruction's definitions (registers
+        # and flags) are all dead along the trace, or when it is a
+        # conditional branch that fell through anyway
+        return facts.skip_prune(step)
+
 
 class SingleBitFlip(EncodingFaultModel):
     """Flip one bit of the instruction encoding during fetch."""
@@ -127,6 +159,17 @@ class SingleBitFlip(EncodingFaultModel):
     def describe(self, detail: tuple) -> str:
         return f"bitflip(bit={detail[0]})"
 
+    def prune_variant(self, step, detail, facts):
+        (bit,) = detail
+
+        def mutate(raw: bytearray) -> None:
+            raw[bit // 8] ^= 1 << (bit % 8)
+
+        # crash when the mutated window no longer decodes; dead when
+        # it decodes to a same-length instruction whose definitions
+        # are all dead
+        return facts.encoding_prune(step, mutate)
+
 
 class StuckAtZeroByte(EncodingFaultModel):
     """One encoding byte reads as 0x00 (stuck-at-zero bus fault)."""
@@ -142,6 +185,16 @@ class StuckAtZeroByte(EncodingFaultModel):
 
     def describe(self, detail: tuple) -> str:
         return f"stuck0(byte={detail[0]})"
+
+    def prune_variant(self, step, detail, facts):
+        (index,) = detail
+
+        def mutate(raw: bytearray) -> None:
+            raw[index] = 0
+
+        # an already-zero byte is an identity fault (dead); otherwise
+        # as for bitflip
+        return facts.encoding_prune(step, mutate)
 
 
 class RegisterBitFlip(StateFaultModel):
@@ -171,6 +224,13 @@ class RegisterBitFlip(StateFaultModel):
         code, bit = detail
         return f"reg-bitflip({gpr64(code).name}, bit={bit})"
 
+    def prune_variant(self, step, detail, facts):
+        code, bit = detail
+        # dead when the flipped bit is overwritten (width-aware, e.g.
+        # a 32-bit mov destination zero-extends over all 64 bits)
+        # before any instruction reads it
+        return facts.reg_bit_prune(step, code, bit)
+
 
 class FlagStuck(StateFaultModel):
     """Force one status flag at an instruction that consumes flags.
@@ -197,6 +257,19 @@ class FlagStuck(StateFaultModel):
     def describe(self, detail: tuple) -> str:
         flag, value = detail
         return f"flag-stuck({flag}={value})"
+
+    def prune_variant(self, step, detail, facts):
+        flag, value = detail
+        # dead when the flag already holds the forced value at the
+        # step (replayed), or is neither consumed at the step nor
+        # live afterwards
+        return facts.flag_prune(step, flag, value)
+
+    def variant_class(self, step, detail, facts):
+        flag, value = detail
+        # forces of the same flag/value with no consumer or writer
+        # between them coincide from the later point on
+        return facts.flag_class_key(step, flag, value)
 
 
 class MemOperandBitFlip(StateFaultModel):

@@ -394,10 +394,14 @@ class DifferentialReport:
 
     def table(self) -> str:
         """Human-readable before/after comparison."""
+        # local import: reduction imports the campaign vocabulary
+        from repro.faulter.reduction import ReductionCertificate
+
         lines = [
             f"differential evaluation: target={self.target} "
             f"models={','.join(self.models) or '-'}"
         ]
+        reduction = self.meta.get("reduction", {})
         for model in self.models:
             census = self.counts(model=model)
             lines.append(
@@ -408,6 +412,11 @@ class DifferentialReport:
                 f"introduced={census[INTRODUCED]} "
                 f"unmapped={census[UNMAPPED]} "
                 f"({self.eliminated_percent(model):.0f}% eliminated)")
+            for side in ("baseline", "hardened"):
+                cert = reduction.get(model, {}).get(side)
+                if cert:
+                    summary = ReductionCertificate(cert).summary()
+                    lines.append(f"    {side:<10} {summary}")
             for point in self.points:
                 if point.model != model:
                     continue
@@ -555,5 +564,17 @@ def differential_report(
     }
     if skipped:
         meta["models_skipped"] = skipped
+    reduction: dict[str, dict] = {}
+    for model in models:
+        sides = {}
+        for side, report in (("baseline", baseline[model]),
+                             ("hardened", hardened[model])):
+            cert = report.meta.get("reduction")
+            if cert:
+                sides[side] = dict(cert)
+        if sides:
+            reduction[model] = sides
+    if reduction:
+        meta["reduction"] = reduction
     return DifferentialReport(
         target=target, models=models, points=points, meta=meta)

@@ -20,6 +20,9 @@ Enumerators:
   population, seeded (statistical FI, Leveugle et al.),
 * :class:`KFaultProductSpace` — sampled k-tuples of distinct offsets
   per run (the multi-fault extension; k=2 is the pair campaign),
+* :class:`ProductSpace` — the *exhaustive* k-fault product over a
+  bounded offset window (what equivalence reduction is measured
+  against),
 * :class:`ExplicitSpace` — a literal point list (legacy escape hatch),
 * :class:`SpacePartition` — a contiguous enumeration-order window of
   any base space, re-enumerated locally (what a partition ships to a
@@ -87,13 +90,24 @@ class SpaceContext:
         trace: Sequence[int],
         variants_at: Callable[[int], Sequence[tuple]],
         mnemonic_at: Callable[[int], str] | None = None,
+        facts_factory: Callable[[], object] | None = None,
     ):
         self.model = model
         self.trace = list(trace)
         self._variants_at = variants_at
         self._mnemonic_at = mnemonic_at
+        self._facts_factory = facts_factory
+        self._facts: object | None = None
         self._variant_cache: dict[int, list[tuple]] = {}
         self._cumulative: list[int] | None = None
+
+    @property
+    def facts(self):
+        """Lazily-built :class:`~repro.analysis.traceflow.TraceFacts`
+        over this trace (``None`` when the binding supplies none)."""
+        if self._facts is None and self._facts_factory is not None:
+            self._facts = self._facts_factory()
+        return self._facts
 
     def variants(self, step: int) -> list[tuple]:
         """Memoized fault variants injectable at trace offset ``step``."""
@@ -333,6 +347,59 @@ class KFaultProductSpace(FaultSpace):
 
     def describe(self) -> str:
         return f"k-fault[k={self.k}, n={self.samples}, seed={self.seed}]"
+
+
+@dataclass(frozen=True)
+class ProductSpace(FaultSpace):
+    """Exhaustive k-fault combinations over a window of trace offsets.
+
+    Every size-``k`` combination of the (valid) window offsets, with
+    every variant combination per offset tuple — the full product the
+    reduction layer's domination pruning is measured against.  The
+    count is O(|window| choose k) times the variant fan-out, so this
+    space is only practical over a bounded window; like the sampled
+    k-fault space it uses the total-cap budget convention, which is
+    what makes single-fault survivor domination exact.
+    """
+
+    k: int = 2
+    indices: tuple[int, ...] = ()
+    cap_policy = TOTAL_CAP
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ValueError(f"k_faults must be >= 1, got {self.k}")
+
+    def _valid(self, ctx: SpaceContext) -> list[int]:
+        return sorted(
+            {
+                step
+                for step in self.indices
+                if 0 <= step < len(ctx.trace) and ctx.variants(step)
+            }
+        )
+
+    def enumerate(self, ctx: SpaceContext) -> Iterator[FaultPoint]:
+        valid = self._valid(ctx)
+        order = 0
+        for combo in itertools.combinations(valid, self.k):
+            pools = [ctx.variants(step) for step in combo]
+            for details in itertools.product(*pools):
+                yield FaultPoint(order, combo, details)
+                order += 1
+
+    def count(self, ctx: SpaceContext) -> int:
+        valid = self._valid(ctx)
+        total = 0
+        for combo in itertools.combinations(valid, self.k):
+            product = 1
+            for step in combo:
+                product *= len(ctx.variants(step))
+            total += product
+        return total
+
+    def describe(self) -> str:
+        return f"product[k={self.k}, w={len(self.indices)}]"
 
 
 @dataclass(frozen=True)

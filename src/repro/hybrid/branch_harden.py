@@ -29,7 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.ir.builder import IRBuilder
-from repro.ir.instructions import CondBr, ICmp
+from repro.ir.instructions import CondBr
 from repro.ir.module import BasicBlock, Function, IRModule
 from repro.ir.types import I64, VOID
 from repro.ir.values import Constant

@@ -22,7 +22,7 @@ from repro.analysis.liveness import RegisterLiveness
 from repro.gtirb.ir import InsnEntry, Module
 from repro.isa.cond import Cond
 from repro.isa.insn import Instruction, Mnemonic
-from repro.isa.operands import Mem, Reg
+from repro.isa.operands import Reg
 from repro.isa.registers import reg, sub_register
 from repro.patcher.patcher import Patcher
 from repro.patcher.patterns import PatchBuilder, _operand_regs, _uses_rsp

@@ -23,7 +23,6 @@ from __future__ import annotations
 import struct
 
 from repro.errors import EncodingError
-from repro.isa.cond import Cond
 from repro.isa.insn import Instruction, Mnemonic
 from repro.isa.operands import Imm, Label, Mem, Reg
 

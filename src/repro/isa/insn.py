@@ -7,7 +7,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from repro.isa.cond import Cond
-from repro.isa.operands import Imm, Label, Mem, Operand, Reg
+from repro.isa.operands import Imm, Operand
 
 
 class Mnemonic(enum.Enum):

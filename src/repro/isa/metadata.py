@@ -12,7 +12,7 @@ writes in our subset either leave the upper bits (8-bit) or zero them
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import FrozenSet
 
 from repro.isa.insn import Instruction, Mnemonic

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.analysis.flagliveness import FlagLiveness
@@ -10,7 +10,7 @@ from repro.errors import RewriteError
 from repro.gtirb.ir import (
     CodeBlock, DataBlock, GSection, InsnEntry, Module, SymExpr, Symbol)
 from repro.isa.insn import Instruction, Mnemonic
-from repro.isa.operands import Imm, Label, Mem, Reg
+from repro.isa.operands import Imm, Reg
 from repro.isa.registers import reg
 from repro.patcher.patterns import PatchBuilder, select_pattern
 

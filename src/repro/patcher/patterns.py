@@ -22,7 +22,7 @@ from repro.isa.cond import Cond
 from repro.isa.insn import Instruction, Mnemonic
 from repro.isa.metadata import effects
 from repro.isa.operands import Imm, Mem, Reg
-from repro.isa.registers import parent_gpr, reg, sub_register
+from repro.isa.registers import parent_gpr, reg
 
 RSP = reg("rsp")
 RCX = reg("rcx")

@@ -279,5 +279,9 @@ class TestStreamingKnobs:
         assert 0 < report.meta["peak_resident_points"] <= 4
         materialized = faulter.run_campaign("skip", stream=False)
         assert materialized.meta["stream"] is False
+        # the materialized window holds the *executed* survivor points
+        # (equivalence reduction elides the provably-dead remainder)
         assert materialized.meta["peak_resident_points"] == \
-            materialized.total_faults
+            materialized.meta["reduction"]["executed_points"]
+        assert materialized.total_faults == \
+            materialized.meta["reduction"]["full_points"]
