@@ -32,7 +32,10 @@ the same perf trajectory as the classic fetch faults, and a
 ``k2-reduced`` row (a dense k=2 ``flag-stuck`` pair product with
 equivalence reduction on, see ``repro.faulter.reduction``) that must
 emulate at least 5x fewer steps than the full product while staying
-bit-identical.  CI's ``bench`` job diffs a fresh run of this file
+bit-identical, and a ``chunked-pie`` row (a per-unit chunked
+exhaustive campaign on the committed PIE ELF fixture, recording
+faults/s and ``peak_resident_points`` — the real-binary path on the
+same trajectory).  CI's ``bench`` job diffs a fresh run of this file
 against the committed JSON and fails on >25% throughput regression
 (``benchmarks/check_regression.py``).
 """
@@ -44,9 +47,10 @@ import time
 
 from conftest import once
 
+from repro.binfmt.reader import read_elf
 from repro.faulter import (
     Faulter, MultiprocessBackend, SampledSpace, SequentialBackend)
-from repro.faulter.space import ProductSpace
+from repro.faulter.space import ExhaustiveSpace, ProductSpace
 from repro.workloads import bootloader
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
@@ -70,6 +74,11 @@ STATE_SAMPLES = 192
 K2_MODEL = "flag-stuck"
 K2_OFFSET_STRIDE = 9
 K2_MIN_SPEEDUP = 5.0
+# chunked-pie row: campaign inputs of the committed PIE fixture
+# (tests/fixtures/README.md)
+PIE_GOOD = bytes.fromhex("0d141b222930373e")
+PIE_BAD = bytes.fromhex("0d141b223930373f")
+PIE_MARKER = b"BOOT OK"
 
 
 def _measure(faulter, backend, model="skip", samples=SAMPLES):
@@ -207,6 +216,31 @@ def test_engine_throughput(benchmark, record):
         "full_emulated_steps": full_pair_steps,
         "full_wall_seconds": round(full_elapsed, 4),
         "step_speedup": round(step_speedup, 1),
+    }
+
+    # chunked-pie row: per-unit chunked exhaustive campaign on the
+    # committed PIE fixture — the real-binary path (ET_DYN read,
+    # function recovery, WindowedSpace sub-campaigns) on the same
+    # perf trajectory as the in-process workloads
+    pie_exe = read_elf(
+        (REPO_ROOT / "tests/fixtures/bootloader_pie.elf").read_bytes())
+    pie_faulter = Faulter(pie_exe, PIE_GOOD, PIE_BAD, PIE_MARKER,
+                          name="bootloader-pie")
+    chunked_start = time.perf_counter()
+    chunked = pie_faulter.run_chunked_campaign("skip")
+    chunked_elapsed = time.perf_counter() - chunked_start
+    assert chunked == pie_faulter.engine().run(
+        "skip", ExhaustiveSpace(), reduce=False)
+    models["chunked-pie"] = {
+        "wall_seconds": round(chunked_elapsed, 4),
+        "model": "skip",
+        "faults": chunked.total_faults,
+        "faults_per_second": round(
+            chunked.total_faults / chunked_elapsed, 2)
+        if chunked_elapsed else None,
+        "emulated_steps": chunked.meta["emulated_steps"],
+        "peak_resident_points": chunked.meta["peak_resident_points"],
+        "units": len(chunked.meta["units"]),
     }
 
     payload = {

@@ -214,6 +214,13 @@ class Target:
                     reduce=config.reduce)
                 reports[report.model] = report
             return reports
+        if config.chunk_units:
+            reports = {}
+            for model in models:
+                report = faulter.run_chunked_campaign(
+                    model, backend=backend)
+                reports[report.model] = report
+            return reports
         return faulter.run_all(models, backend=backend,
                                reduce=config.reduce)
 

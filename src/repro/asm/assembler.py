@@ -17,7 +17,8 @@ from dataclasses import dataclass
 from repro.asm.parser import parse_source
 from repro.asm.source import (
     AlignStmt, DataStmt, InsnStmt, LabelDef, Program, SpaceStmt)
-from repro.binfmt.image import Executable, Section, SymbolDef
+from repro.binfmt import elfdefs
+from repro.binfmt.image import Executable, Relocation, Section, SymbolDef
 from repro.binfmt.writer import write_elf
 from repro.errors import AsmError, LinkError
 from repro.isa.encoder import encode, encoded_length
@@ -55,17 +56,23 @@ def _section_rank(name: str) -> tuple[int, str]:
         return len(_SECTION_ORDER) - 1, name  # unknown sections before .bss
 
 
-def assemble(source: str | Program) -> Executable:
+def assemble(source: str | Program, pie: bool = False) -> Executable:
     """Assemble and link ``source`` into an executable image."""
-    exe, _ = assemble_with_map(source)
+    exe, _ = assemble_with_map(source, pie=pie)
     return exe
 
 
-def assemble_with_map(source: str | Program):
+def assemble_with_map(source: str | Program, pie: bool = False):
     """Assemble and also return ``{InsnStmt.tag: final_address}``.
 
     The rewriting loop uses the map to translate fault addresses in the
     freshly linked binary back to the GTIRB entries that produced them.
+
+    With ``pie=True`` the image is marked position-independent: every
+    pointer-sized data word that resolves through a symbol becomes an
+    ``R_X86_64_RELATIVE`` relocation (both sides section-anchored), and
+    global symbols are exported through the dynamic symbol table — the
+    writer then emits an ``ET_DYN`` image.
     """
     program = parse_source(source) if isinstance(source, str) else source
 
@@ -136,6 +143,7 @@ def assemble_with_map(source: str | Program):
 
     # ---- pass 2: encode ----------------------------------------------------
     sections: list[Section] = []
+    relocations: list[Relocation] = []
     for name in ordered:
         if sizes[name] == 0:
             continue  # nothing emitted into this section
@@ -167,6 +175,16 @@ def assemble_with_map(source: str | Program):
                     else:
                         sym, addend, size = part
                         value = resolve(Label(sym, addend), item.line)
+                        if pie and size == 8 and sym in symbols:
+                            target_section, target_off = symbols[sym]
+                            relocations.append(Relocation(
+                                section=name,
+                                offset=len(blob),
+                                rtype=elfdefs.R_X86_64_RELATIVE,
+                                addend=value,
+                                target_section=target_section,
+                                target_offset=target_off + addend,
+                            ))
                         blob += (value % (1 << (size * 8))).to_bytes(
                             size, "little")
             elif isinstance(item, SpaceStmt):
@@ -200,6 +218,9 @@ def assemble_with_map(source: str | Program):
         entry=symbol_addr[program.entry],
         sections=sections,
         symbols=symdefs,
+        pie=pie,
+        relocations=relocations,
+        dynamic_symbols=[s for s in symdefs if s.is_global] if pie else [],
     )
     tag_map = {}
     for name in ordered:
@@ -238,6 +259,6 @@ def _resolve_insn(instruction: Instruction, address: int, resolve,
     return instruction.with_operands(*new_ops)
 
 
-def assemble_to_elf(source: str | Program) -> bytes:
+def assemble_to_elf(source: str | Program, pie: bool = False) -> bytes:
     """Assemble ``source`` and serialize the result to ELF bytes."""
-    return write_elf(assemble(source))
+    return write_elf(assemble(source, pie=pie))

@@ -7,8 +7,9 @@ emulator, disassembler and rewriter all exchange
 :class:`~repro.binfmt.image.Executable` objects or raw ELF bytes.
 """
 
-from repro.binfmt.image import Executable, Section, SymbolDef
+from repro.binfmt.image import Executable, Relocation, Section, SymbolDef
 from repro.binfmt.writer import write_elf
 from repro.binfmt.reader import read_elf
 
-__all__ = ["Executable", "Section", "SymbolDef", "write_elf", "read_elf"]
+__all__ = ["Executable", "Relocation", "Section", "SymbolDef",
+           "write_elf", "read_elf"]

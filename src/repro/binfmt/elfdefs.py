@@ -8,6 +8,7 @@ ELFDATA2LSB = 1
 EV_CURRENT = 1
 
 ET_EXEC = 2
+ET_DYN = 3
 EM_X86_64 = 62
 
 PT_LOAD = 1
@@ -19,7 +20,13 @@ SHT_NULL = 0
 SHT_PROGBITS = 1
 SHT_SYMTAB = 2
 SHT_STRTAB = 3
+SHT_RELA = 4
 SHT_NOBITS = 8
+SHT_DYNSYM = 11
+
+R_X86_64_NONE = 0
+R_X86_64_64 = 1
+R_X86_64_RELATIVE = 8
 
 SHF_WRITE = 1
 SHF_ALLOC = 2
@@ -39,6 +46,19 @@ EHDR = struct.Struct("<16sHHIQQQIHHHHHH")
 PHDR = struct.Struct("<IIQQQQQQ")
 SHDR = struct.Struct("<IIQQQQIIQQ")
 SYM = struct.Struct("<IBBHQQ")
+RELA = struct.Struct("<QQq")
+
+
+def rela_info(symindex: int, rtype: int) -> int:
+    return (symindex << 32) | rtype
+
+
+def rela_sym(r_info: int) -> int:
+    return r_info >> 32
+
+
+def rela_type(r_info: int) -> int:
+    return r_info & 0xFFFFFFFF
 
 
 def section_flags_to_shf(flags: str) -> int:

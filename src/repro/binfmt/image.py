@@ -53,12 +53,46 @@ class SymbolDef:
 
 
 @dataclass
+class Relocation:
+    """A dynamic relocation, anchored to sections on both sides.
+
+    ``section``/``offset`` locate the patched word (``r_offset`` is
+    recomputed from the section's final address at write time).  For
+    ``R_X86_64_RELATIVE`` the addend is a virtual address inside the
+    image; ``target_section``/``target_offset`` anchor it so the writer
+    can re-derive the addend after sections move.  When no anchor could
+    be established the raw ``addend`` is preserved as-is.
+    """
+
+    section: str
+    offset: int
+    rtype: int
+    symbol: str = ""
+    addend: int = 0
+    target_section: str = ""
+    target_offset: int = 0
+
+    @property
+    def anchored(self) -> bool:
+        return bool(self.target_section)
+
+
+@dataclass
 class Executable:
-    """A linked executable image: sections + symbols + entry point."""
+    """A linked executable image: sections + symbols + entry point.
+
+    Position-independent (``ET_DYN``) images carry ``pie=True`` plus
+    their dynamic symbols and relocations; addresses stay absolute
+    (the bundled loader maps PIEs at bias 0), so all consumers can
+    treat both flavours uniformly.
+    """
 
     entry: int
     sections: list[Section] = field(default_factory=list)
     symbols: list[SymbolDef] = field(default_factory=list)
+    pie: bool = False
+    relocations: list[Relocation] = field(default_factory=list)
+    dynamic_symbols: list[SymbolDef] = field(default_factory=list)
 
     def section(self, name: str) -> Section:
         for section in self.sections:
@@ -84,6 +118,20 @@ class Executable:
     def symbols_in(self, section_name: str) -> Iterable[SymbolDef]:
         return [s for s in self.symbols if s.section == section_name]
 
+    def recovery_symbols(self) -> list[SymbolDef]:
+        """Static symbols plus dynamic ones not shadowing a static name.
+
+        Code recovery treats both tables as boundary/naming ground
+        truth; on stripped PIEs the dynamic table is all that is left.
+        """
+        merged = list(self.symbols)
+        seen = {(s.name, s.value) for s in merged}
+        for sym in self.dynamic_symbols:
+            if (sym.name, sym.value) not in seen:
+                merged.append(sym)
+                seen.add((sym.name, sym.value))
+        return merged
+
     def address_ranges(self) -> list[tuple[int, int]]:
         """Sorted (start, end) ranges of all loadable sections."""
         return sorted((s.addr, s.end) for s in self.sections)
@@ -92,8 +140,14 @@ class Executable:
         return self.section_at(address) is not None
 
     def stripped(self) -> "Executable":
-        """Copy without any symbols (exercises symbol-free recovery)."""
-        return Executable(self.entry, list(self.sections), [])
+        """Copy without static symbols (exercises symbol-free recovery).
+
+        Like ``strip(1)``, the dynamic table survives — it is part of
+        the loadable image, not debug metadata.
+        """
+        return replace(self, symbols=[], sections=list(self.sections),
+                       relocations=list(self.relocations),
+                       dynamic_symbols=list(self.dynamic_symbols))
 
     def read(self, address: int, size: int) -> bytes:
         """Read bytes from the image at a virtual address."""

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 from repro.binfmt import elfdefs as d
-from repro.binfmt.image import Executable, Section, SymbolDef
-from repro.errors import ElfError
+from repro.binfmt.image import Executable, Relocation, Section, SymbolDef
+from repro.errors import ElfError, UnsupportedBinaryError
 
 
 def _cstr(blob: bytes, offset: int) -> str:
@@ -14,8 +14,8 @@ def _cstr(blob: bytes, offset: int) -> str:
 
 def read_elf(blob: bytes) -> Executable:
     """Parse an ELF64 executable produced by :func:`write_elf` (or
-    compatible enough: little-endian EXEC for x86-64 with section
-    headers)."""
+    compatible enough: little-endian EXEC or DYN for x86-64 with
+    section headers)."""
     if blob[:4] != d.ELF_MAGIC:
         raise ElfError("bad ELF magic")
     if blob[4] != d.ELFCLASS64 or blob[5] != d.ELFDATA2LSB:
@@ -24,7 +24,14 @@ def read_elf(blob: bytes) -> Executable:
     (_, e_type, e_machine, _, e_entry, _, e_shoff, _, _, _, _,
      e_shentsize, e_shnum, e_shstrndx) = fields
     if e_machine != d.EM_X86_64:
-        raise ElfError(f"unsupported machine {e_machine}")
+        raise UnsupportedBinaryError(
+            f"unsupported machine {e_machine} (only x86-64)",
+            e_machine=e_machine)
+    if e_type not in (d.ET_EXEC, d.ET_DYN):
+        raise UnsupportedBinaryError(
+            f"unsupported ELF type {e_type} "
+            "(only ET_EXEC and ET_DYN executables)",
+            e_type=e_type)
     if e_shnum == 0:
         raise ElfError("missing section headers")
 
@@ -38,6 +45,9 @@ def read_elf(blob: bytes) -> Executable:
     index_to_name: dict[int, str] = {}
     symtab = None
     strtab_off = None
+    dynsym = None
+    dynstr_off = None
+    rela_tables: list[tuple[int, int, int]] = []
     for index, sh in enumerate(shdrs):
         (sh_name, sh_type, sh_flags, sh_addr, sh_offset, sh_size,
          sh_link, _, _, sh_entsize) = sh
@@ -46,6 +56,12 @@ def read_elf(blob: bytes) -> Executable:
         if sh_type == d.SHT_SYMTAB:
             symtab = (sh_offset, sh_size, sh_entsize)
             strtab_off = shdrs[sh_link][4]
+        elif sh_type == d.SHT_DYNSYM:
+            dynsym = (sh_offset, sh_size, sh_entsize)
+            dynstr_off = shdrs[sh_link][4]
+        elif sh_type == d.SHT_RELA:
+            rela_tables.append((sh_offset, sh_size,
+                                sh_entsize or d.RELA.size))
         if not sh_flags & d.SHF_ALLOC:
             continue
         nobits = sh_type == d.SHT_NOBITS
@@ -59,22 +75,71 @@ def read_elf(blob: bytes) -> Executable:
             nobits=nobits,
         ))
 
-    symbols: list[SymbolDef] = []
-    if symtab is not None:
-        offset, size, entsize = symtab
+    def parse_symbols(table, str_off):
+        offset, size, entsize = table
+        result: list[SymbolDef] = []
         count = size // entsize
         for i in range(1, count):
             st_name, st_info, _, st_shndx, st_value, _ = d.SYM.unpack_from(
                 blob, offset + i * entsize)
-            name = _cstr(blob, strtab_off + st_name)
+            name = _cstr(blob, str_off + st_name)
             if not name:
                 continue
-            symbols.append(SymbolDef(
+            result.append(SymbolDef(
                 name=name,
                 value=st_value,
                 section=index_to_name.get(st_shndx, ""),
                 is_global=(st_info >> 4) == d.STB_GLOBAL,
                 is_func=(st_info & 0xF) == d.STT_FUNC,
             ))
+        return result
 
-    return Executable(entry=e_entry, sections=sections, symbols=symbols)
+    symbols = parse_symbols(symtab, strtab_off) if symtab else []
+    dynamic_symbols = parse_symbols(dynsym, dynstr_off) if dynsym else []
+
+    def section_anchor(address: int) -> tuple[str, int]:
+        for section in sections:
+            if section.contains(address):
+                return section.name, address - section.addr
+        return "", address
+
+    # Positional name list (keeps empty entries) for r_info sym indices.
+    dynsym_names = [""]
+    if dynsym:
+        offset, size, entsize = dynsym
+        for i in range(1, size // entsize):
+            st_name = d.SYM.unpack_from(blob, offset + i * entsize)[0]
+            dynsym_names.append(_cstr(blob, dynstr_off + st_name))
+
+    relocations: list[Relocation] = []
+    for offset, size, entsize in rela_tables:
+        for i in range(size // entsize):
+            r_offset, r_info, r_addend = d.RELA.unpack_from(
+                blob, offset + i * entsize)
+            rtype = d.rela_type(r_info)
+            symindex = d.rela_sym(r_info)
+            symbol = ""
+            if 0 < symindex < len(dynsym_names):
+                symbol = dynsym_names[symindex]
+            site_section, site_offset = section_anchor(r_offset)
+            target_section, target_offset = "", 0
+            if rtype == d.R_X86_64_RELATIVE:
+                target_section, target_offset = section_anchor(r_addend)
+            relocations.append(Relocation(
+                section=site_section,
+                offset=site_offset if site_section else r_offset,
+                rtype=rtype,
+                symbol=symbol,
+                addend=r_addend,
+                target_section=target_section,
+                target_offset=target_offset,
+            ))
+
+    return Executable(
+        entry=e_entry,
+        sections=sections,
+        symbols=symbols,
+        pie=e_type == d.ET_DYN,
+        relocations=relocations,
+        dynamic_symbols=dynamic_symbols,
+    )

@@ -24,10 +24,14 @@ class _StrTab:
 
 
 def write_elf(exe: Executable) -> bytes:
-    """Produce a well-formed ELF64 EXEC image for ``exe``.
+    """Produce a well-formed ELF64 image for ``exe``.
 
     One PT_LOAD segment per section; file offsets are congruent to
     virtual addresses modulo the page size, as the SysV ABI requires.
+    PIE images (``exe.pie``) are written as ``ET_DYN`` with their
+    dynamic symbol and relocation tables re-emitted; relocation
+    offsets and RELATIVE addends are recomputed from their section
+    anchors so entries stay correct when sections have moved.
     """
     sections = sorted(exe.sections, key=lambda s: s.addr)
     phnum = len(sections)
@@ -68,6 +72,54 @@ def write_elf(exe: Executable) -> bytes:
     symtab_offset = pos
     pos += len(symtab_data)
 
+    # --- dynamic tables (PIE only) ----------------------------------------
+    addr_of = {s.name: s.addr for s in sections}
+
+    def anchored_addr(section_name, offset, fallback):
+        base = addr_of.get(section_name)
+        return fallback if base is None else base + offset
+
+    dynstr = _StrTab()
+    dynsym_entries = [d.SYM.pack(0, 0, 0, 0, 0, 0)]
+    dynsym_index: dict[str, int] = {}
+    dyn_first_global = 1
+    rela_data = b""
+    if exe.pie:
+        dyn_locals = [s for s in exe.dynamic_symbols if not s.is_global]
+        dyn_globals = [s for s in exe.dynamic_symbols if s.is_global]
+        for sym in dyn_locals + dyn_globals:
+            bind = d.STB_GLOBAL if sym.is_global else d.STB_LOCAL
+            stype = d.STT_FUNC if sym.is_func else d.STT_NOTYPE
+            shndx = section_index.get(sym.section, d.SHN_UNDEF)
+            dynsym_index[sym.name] = len(dynsym_entries)
+            dynsym_entries.append(d.SYM.pack(
+                dynstr.add(sym.name), (bind << 4) | stype, 0, shndx,
+                sym.value, 0))
+        dyn_first_global = 1 + len(dyn_locals)
+        rela_parts = []
+        for reloc in exe.relocations:
+            r_offset = anchored_addr(reloc.section, reloc.offset,
+                                     reloc.offset)
+            addend = reloc.addend
+            if reloc.rtype == d.R_X86_64_RELATIVE and reloc.anchored:
+                addend = anchored_addr(
+                    reloc.target_section, reloc.target_offset, addend)
+            symindex = dynsym_index.get(reloc.symbol, 0)
+            rela_parts.append(d.RELA.pack(
+                r_offset, d.rela_info(symindex, reloc.rtype), addend))
+        rela_data = b"".join(rela_parts)
+    dynstr_bytes = dynstr.bytes()
+    dynsym_data = b"".join(dynsym_entries)
+
+    dynstr_offset = pos
+    dynsym_offset = rela_offset = 0
+    if exe.pie:
+        pos += len(dynstr_bytes)
+        dynsym_offset = pos
+        pos += len(dynsym_data)
+        rela_offset = pos
+        pos += len(rela_data)
+
     # --- section headers ---------------------------------------------------
     shdrs = [d.SHDR.pack(0, d.SHT_NULL, 0, 0, 0, 0, 0, 0, 0, 0)]
     for section in sections:
@@ -84,6 +136,20 @@ def write_elf(exe: Executable) -> bytes:
         shstrtab.add(".symtab"), d.SHT_SYMTAB, 0, 0,
         symtab_offset, len(symtab_data), strtab_index, first_global,
         8, d.SYM.size))
+    if exe.pie:
+        dynstr_index = len(shdrs)
+        shdrs.append(d.SHDR.pack(
+            shstrtab.add(".dynstr"), d.SHT_STRTAB, 0, 0,
+            dynstr_offset, len(dynstr_bytes), 0, 0, 1, 0))
+        dynsym_shndx = len(shdrs)
+        shdrs.append(d.SHDR.pack(
+            shstrtab.add(".dynsym"), d.SHT_DYNSYM, 0, 0,
+            dynsym_offset, len(dynsym_data), dynstr_index,
+            dyn_first_global, 8, d.SYM.size))
+        shdrs.append(d.SHDR.pack(
+            shstrtab.add(".rela.dyn"), d.SHT_RELA, 0, 0,
+            rela_offset, len(rela_data), dynsym_shndx, 0, 8,
+            d.RELA.size))
     shstr_offset = pos
     shstr_name = shstrtab.add(".shstrtab")
     shstr_bytes = shstrtab.bytes()
@@ -99,8 +165,9 @@ def write_elf(exe: Executable) -> bytes:
     # --- ELF header and program headers -----------------------------------
     ident = d.ELF_MAGIC + bytes([d.ELFCLASS64, d.ELFDATA2LSB,
                                  d.EV_CURRENT]) + bytes(9)
+    e_type = d.ET_DYN if exe.pie else d.ET_EXEC
     ehdr = d.EHDR.pack(
-        ident, d.ET_EXEC, d.EM_X86_64, d.EV_CURRENT, exe.entry,
+        ident, e_type, d.EM_X86_64, d.EV_CURRENT, exe.entry,
         d.EHDR.size, shoff, 0, d.EHDR.size, d.PHDR.size, phnum,
         d.SHDR.size, shnum, shstrndx)
     phdrs = b"".join(
@@ -125,6 +192,10 @@ def write_elf(exe: Executable) -> bytes:
         blob += bytes(strtab_data_offset - len(blob))
     blob += strtab_bytes
     blob += symtab_data
+    if exe.pie:
+        blob += dynstr_bytes
+        blob += dynsym_data
+        blob += rela_data
     blob += shstr_bytes
     assert len(blob) == shoff
     blob += b"".join(shdrs)

@@ -14,7 +14,8 @@ Subcommands::
 
 The engine knobs — ``--backend``, ``--checkpoint-interval``,
 ``--workers``, ``--stream/--no-stream``, ``--max-resident-points``,
-``--reduce/--no-reduce`` — are declared once in a shared parent parser
+``--reduce/--no-reduce``, ``--chunk-units`` — are declared once in a
+shared parent parser
 and map onto one :class:`~repro.api.EngineConfig`; ``--approach``
 choices derive from the
 :data:`repro.hardening.HARDENING_APPROACHES` registry and ``--model``
@@ -143,6 +144,13 @@ def _engine_parent() -> argparse.ArgumentParser:
                             "elided verdicts through the reduction "
                             "certificate (default: on; --no-reduce "
                             "forces the full enumeration)")
+    group.add_argument("--chunk-units", default=None,
+                       action=argparse.BooleanOptionalAction,
+                       help="partition the campaign per recovered "
+                            "rewrite unit (function), running each as "
+                            "its own sub-campaign within the resident "
+                            "bound; the merged report is bit-identical "
+                            "and carries per-function rollups")
     return parent
 
 
@@ -158,7 +166,8 @@ def _engine_config(args) -> EngineConfig:
         stream=args.stream,
         max_resident_points=args.max_resident_points,
         trace_compile=args.trace_compile,
-        reduce=args.reduce)
+        reduce=args.reduce,
+        chunk_units=args.chunk_units)
 
 
 def _file_target(args) -> Target:
@@ -220,6 +229,13 @@ def _cmd_fault(args) -> int:
                   f"{meta['compile_divergences']} divergences, "
                   f"compile {meta['compile_seconds']}s)")
             _print_reduction(meta)
+            for name, rollup in meta.get("units", {}).items():
+                outcomes = ", ".join(
+                    f"{k}={v}"
+                    for k, v in sorted(rollup["outcomes"].items()))
+                print(f"  unit {name}: {rollup['trace_steps']} "
+                      f"step(s), {rollup['points']} point(s)"
+                      + (f" ({outcomes})" if outcomes else ""))
     return 0 if not any(r.vulnerable for r in reports.values()) else 1
 
 

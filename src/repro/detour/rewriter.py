@@ -51,6 +51,7 @@ class DetourRewriter:
         self.trampoline = bytearray()
         self.trampoline_base = self._pick_trampoline_base()
         self.stats = DetourStats()
+        self.plan = None  # optional RewritePlan for per-unit rollups
         self._branch_targets = self._collect_branch_targets()
         self._patched_ranges: list[tuple[int, int]] = []
         # .text addresses never move under detouring; displaced
@@ -123,8 +124,12 @@ class DetourRewriter:
         if self.trampoline:
             symbols.append(SymbolDef("fi_detour", self.trampoline_base,
                                      ".detour"))
+        # .text addresses are stable under detouring, so the dynamic
+        # tables of a PIE input carry over unchanged.
         return Executable(entry=self.exe.entry, sections=sections,
-                          symbols=symbols)
+                          symbols=symbols, pie=self.exe.pie,
+                          relocations=list(self.exe.relocations),
+                          dynamic_symbols=list(self.exe.dynamic_symbols))
 
     # -- internals -----------------------------------------------------------
 
@@ -151,7 +156,7 @@ class DetourRewriter:
         targets = set()
         boundaries = sorted(
             symbol.value - self.text_addr
-            for symbol in self.exe.symbols
+            for symbol in self.exe.recovery_symbols()
             if symbol.section == ".text"
             and 0 <= symbol.value - self.text_addr < len(self.text))
         offset = 0
@@ -232,28 +237,33 @@ class DetourRewriter:
 
 def _duplication_rewriter(exe: Executable) -> DetourRewriter:
     """Detour every idempotent data instruction into a run-twice
-    trampoline (the duplication countermeasure, Section III-B)."""
+    trampoline (the duplication countermeasure, Section III-B).
+
+    Consumes the unit stream from :func:`recover_plan` instead of a
+    raw linear decode of ``.text``: opaque (undecodable) units are
+    skipped and preserved, sweep-recovered units on stripped inputs
+    are instrumented like any function, and the resulting provenance
+    map composes per-unit rollups.
+    """
+    from repro.disasm.units import recover_plan
     from repro.patcher.patterns import _is_idempotent
-    from repro.gtirb.ir import InsnEntry
+    from repro.provenance import with_unit_rollups
 
     rewriter = DetourRewriter(exe)
-    text = exe.section(".text")
-    offset = 0
-    addresses = []
-    while offset < len(text.data):
-        try:
-            insn = decode(text.data, offset, text.addr + offset)
-        except DecodingError:
-            break
-        if not insn.is_control_flow and \
-                insn.mnemonic is not Mnemonic.SYSCALL and \
-                _is_idempotent(InsnEntry(insn)):
-            addresses.append(text.addr + offset)
-        offset += insn.length
-
-    for address in addresses:
-        rewriter.instrument(
-            address, lambda displaced: [displaced[0]])
+    _, plan = recover_plan(exe)
+    rewriter.plan = plan
+    for unit in plan.code_units():
+        for block in unit.blocks:
+            if not block.is_code:
+                continue
+            for entry in block.entries:
+                insn = entry.insn
+                if not insn.is_control_flow and \
+                        insn.mnemonic is not Mnemonic.SYSCALL and \
+                        _is_idempotent(entry):
+                    rewriter.instrument(
+                        insn.address, lambda displaced: [displaced[0]])
+    rewriter.provenance = with_unit_rollups(rewriter.provenance, plan)
     return rewriter
 
 

@@ -21,5 +21,8 @@ from repro.disasm.recover import disassemble
 from repro.disasm.pprint import pretty_print
 from repro.disasm.functions import find_functions
 from repro.disasm.roundtrip import reassemble
+from repro.disasm.units import (
+    RewritePlan, RewriteUnit, build_plan, recover_plan)
 
-__all__ = ["disassemble", "pretty_print", "find_functions", "reassemble"]
+__all__ = ["disassemble", "pretty_print", "find_functions", "reassemble",
+           "RewritePlan", "RewriteUnit", "build_plan", "recover_plan"]

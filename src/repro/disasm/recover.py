@@ -47,10 +47,15 @@ def disassemble(exe: Executable, mode: str = "refined") -> Module:
 # ---------------------------------------------------------------------------
 
 
+def _text_symbols(exe: Executable):
+    """Static and dynamic symbols anchored in ``.text``."""
+    return [s for s in exe.recovery_symbols() if s.section == ".text"]
+
+
 def _discover(exe: Executable, text) -> dict[int, Instruction]:
     """Recursive-descent discovery of instructions in ``.text``."""
     roots = [exe.entry]
-    roots += [s.value for s in exe.symbols_in(".text")]
+    roots += [s.value for s in _text_symbols(exe)]
     instructions: dict[int, Instruction] = {}
     worklist = [a for a in roots if text.contains(a)]
     while worklist:
@@ -75,7 +80,7 @@ def _discover(exe: Executable, text) -> dict[int, Instruction]:
 def _find_leaders(exe: Executable, instructions, text) -> set[int]:
     """Block leader addresses: entry, targets, post-terminator, symbols."""
     leaders = {exe.entry}
-    leaders.update(s.value for s in exe.symbols_in(".text"))
+    leaders.update(s.value for s in _text_symbols(exe))
     for address, insn in instructions.items():
         target = insn.branch_target()
         if target is not None and text.contains(target):

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.binfmt import elfdefs
 from repro.binfmt.image import Executable
 from repro.gtirb.ir import (
     DataBlock, InsnEntry, Module, SymExpr, Symbol)
@@ -57,8 +58,9 @@ def symbolize(module: Module, exe: Executable, mode: str = "refined"):
             refs.extend(_entry_refs(entry, in_ranges, mode))
 
     # ---- data sections: split points and pointer scan ---------------------
+    known_symbols = exe.recovery_symbols()
     anchors: set[int] = set(code_by_addr)
-    anchors.update(s.value for s in exe.symbols)
+    anchors.update(s.value for s in known_symbols)
     data_sections = [s for s in module.sections if s.name != ".text"]
     raw = {}
     for section in data_sections:
@@ -80,11 +82,28 @@ def symbolize(module: Module, exe: Executable, mode: str = "refined"):
                 return
         # targets in .text are anchored to code blocks, no split needed
 
-    for sym in exe.symbols:
+    for sym in known_symbols:
         note_target(sym.value)
     for ref in refs:
         note_target(ref.target)
         anchors.add(ref.target)
+
+    # Dynamic relocations are symbolization ground truth: each RELATIVE
+    # entry marks a pointer-sized word whose value is an address, even
+    # when no heuristic would accept it (stripped PIEs).
+    for reloc in exe.relocations:
+        if reloc.rtype != elfdefs.R_X86_64_RELATIVE:
+            continue
+        if reloc.section not in sym_words:
+            continue
+        base, data, _ = raw[reloc.section]
+        if data is None or reloc.offset + 8 > len(data):
+            continue
+        value = int.from_bytes(
+            data[reloc.offset:reloc.offset + 8], "little")
+        sym_words[reloc.section][reloc.offset] = value
+        anchors.add(value)
+        note_target(value)
 
     # pointer scan to fixpoint: accepted pointers create new anchors
     changed = True
@@ -139,8 +158,9 @@ def symbolize(module: Module, exe: Executable, mode: str = "refined"):
 
     # ---- create symbols and attach expressions ------------------------------
     name_by_addr = {}
-    for sym in exe.symbols:
+    for sym in known_symbols:
         name_by_addr.setdefault(sym.value, sym.name)
+    global_names = {s.name for s in known_symbols if s.is_global}
     made: dict[int, Symbol] = {}
 
     def symbol_for(target: int) -> Symbol | None:
@@ -163,9 +183,7 @@ def symbolize(module: Module, exe: Executable, mode: str = "refined"):
         base_addr = referent.address
         if base_addr in made:
             return made[base_addr]
-        symbol = Symbol(name, referent,
-                        is_global=name in {s.name for s in exe.symbols
-                                           if s.is_global})
+        symbol = Symbol(name, referent, is_global=name in global_names)
         module.symbols.append(symbol)
         made[base_addr] = symbol
         return symbol
@@ -207,7 +225,7 @@ def symbolize(module: Module, exe: Executable, mode: str = "refined"):
     module.entry.is_global = True
 
     # name remaining symbol-bearing exe symbols for readability
-    for sym in exe.symbols:
+    for sym in known_symbols:
         if sym.value in made or sym.value not in code_by_addr and \
                 sym.value not in data_by_addr:
             continue

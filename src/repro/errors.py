@@ -33,6 +33,19 @@ class ElfError(ReproError):
     """Malformed or unsupported ELF image."""
 
 
+class UnsupportedBinaryError(ElfError):
+    """A well-formed ELF we deliberately do not handle.
+
+    Raised for ``e_type`` other than ``ET_EXEC``/``ET_DYN`` and for
+    machines other than x86-64, instead of silently misparsing.
+    """
+
+    def __init__(self, message, *, e_type=None, e_machine=None):
+        super().__init__(message)
+        self.e_type = e_type
+        self.e_machine = e_machine
+
+
 class EmulationError(ReproError):
     """Base class for guest runtime faults."""
 

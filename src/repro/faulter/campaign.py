@@ -93,6 +93,7 @@ class Faulter:
         self.max_steps = max_steps
         self._trace: Optional[list[int]] = None
         self._engine: Optional[CampaignEngine] = None
+        self._plan = None
         if baselines is not None:
             # an already-validated oracle (e.g. from a probe process)
             self.good_baseline, self.bad_baseline = baselines
@@ -189,6 +190,52 @@ class Faulter:
             backend=backend,
             collect_outcomes=collect_outcomes,
             reduce=reduce,
+        )
+
+    def rewrite_plan(self):
+        """The target's :class:`~repro.disasm.units.RewritePlan`
+        (recovered once and cached)."""
+        if self._plan is None:
+            from repro.binfmt.reader import read_elf
+            from repro.disasm.units import recover_plan
+
+            exe = self.image
+            if isinstance(exe, bytes):
+                exe = read_elf(exe)
+            _, self._plan = recover_plan(exe)
+        return self._plan
+
+    def run_chunked_campaign(
+        self,
+        model: FaultModel | str,
+        plan=None,
+        collect_outcomes: bool = False,
+        backend=None,
+        checkpoint_interval: int | float | None = None,
+        stream: bool | None = None,
+        max_resident_points: int | None = None,
+    ) -> CampaignReport:
+        """Exhaustive campaign chunked per rewrite unit.
+
+        The trace is partitioned along ``plan`` (recovered from the
+        image when omitted) and each unit runs as its own sub-campaign
+        within the backend's ``max_resident_points`` bound; the merged
+        report is bit-identical to :meth:`run_campaign` over the full
+        space, with per-function rollups in ``meta["units"]``.
+        """
+        if plan is None:
+            plan = self.rewrite_plan()
+        backend = resolve_backend(
+            backend,
+            checkpoint_interval=checkpoint_interval,
+            stream=stream,
+            max_resident_points=max_resident_points,
+        )
+        return self.engine().run_chunked(
+            model,
+            plan,
+            backend=backend,
+            collect_outcomes=collect_outcomes,
         )
 
     # -- multi-fault campaigns (extension) --------------------------------

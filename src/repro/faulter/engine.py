@@ -69,6 +69,7 @@ from repro.faulter.space import (
     FaultPoint,
     FaultSpace,
     SpaceContext,
+    WindowedSpace,
 )
 from repro.isa.metadata import effects as isa_effects
 
@@ -892,6 +893,7 @@ class EngineConfig:
     max_resident_points: Optional[int] = None
     trace_compile: Optional[bool] = None
     reduce: Optional[bool] = None
+    chunk_units: Optional[bool] = None
 
     def __post_init__(self):
         backend = self.backend
@@ -939,6 +941,15 @@ class EngineConfig:
             raise ValueError(
                 "reduce must be True, False or None, got "
                 f"{self.reduce!r}")
+        if self.chunk_units is not None and not isinstance(
+                self.chunk_units, bool):
+            raise ValueError(
+                "chunk_units must be True, False or None, got "
+                f"{self.chunk_units!r}")
+        if self.chunk_units and self.k_faults > 1:
+            raise ValueError(
+                "chunk_units= applies to single-fault campaigns only "
+                f"(got k_faults={self.k_faults})")
 
     def resolve(self) -> ExecutionBackend:
         """Concrete backend for this configuration."""
@@ -971,6 +982,7 @@ class EngineConfig:
             "max_resident_points": self.max_resident_points,
             "trace_compile": self.trace_compile,
             "reduce": self.reduce,
+            "chunk_units": self.chunk_units,
         }
 
     @classmethod
@@ -989,6 +1001,7 @@ class EngineConfig:
             max_resident_points=payload.get("max_resident_points"),
             trace_compile=payload.get("trace_compile"),
             reduce=payload.get("reduce"),
+            chunk_units=payload.get("chunk_units"),
         )
 
 
@@ -1096,6 +1109,120 @@ class CampaignEngine:
                 "compile_seconds": round(stats.compile_seconds, 6),
                 "compile_divergences": stats.divergences,
                 "reduction": reduction_meta,
+            }
+        )
+
+    def run_chunked(
+        self,
+        model: FaultModel | str,
+        plan,
+        backend: ExecutionBackend | str | None = None,
+        collect_outcomes: bool = False,
+        target: Optional[str] = None,
+    ) -> CampaignReport:
+        """Exhaustive campaign chunked per rewrite unit.
+
+        The bad-input trace is partitioned by which
+        :class:`~repro.disasm.units.RewriteUnit` owns each executed
+        address (trampoline/injected code falls into a residual
+        ``<outside>`` chunk, so coverage stays total), and each chunk
+        runs as its own :class:`WindowedSpace` sub-campaign — a large
+        ``.text`` streams through the backend's
+        ``max_resident_points`` bound one function at a time.  Each
+        outcome's point is re-keyed to its global exhaustive order, so
+        the merged report is bit-identical to an unchunked
+        :class:`ExhaustiveSpace` run; ``meta["units"]`` carries
+        per-function rollups.  Equivalence reduction is skipped (the
+        reduced and unreduced reports are proven identical, so nothing
+        is lost beyond the pruning speedup).
+        """
+        if isinstance(model, str):
+            model = model_by_name(model)
+        ctx = self.context(model)
+        backend = resolve_backend(backend)
+
+        chunks: dict[str, list[int]] = {}
+        unit_info: dict[str, dict] = {}
+        for step, address in enumerate(ctx.trace):
+            unit = plan.unit_at(address)
+            name = unit.name if unit is not None else "<outside>"
+            chunks.setdefault(name, []).append(step)
+            if unit is not None and name not in unit_info:
+                unit_info[name] = {
+                    "start": unit.start,
+                    "end": unit.end,
+                    "opaque": unit.opaque,
+                    "origin": unit.origin,
+                }
+
+        stats = ExecutionStats()
+        rollups: dict[str, dict] = {}
+        rows: list[tuple[int, FaultPoint, str]] = []
+        cumulative = ctx._cumulative_counts()
+        for name in sorted(chunks, key=lambda n: chunks[n][0]):
+            steps = chunks[name]
+            chunk_stats = ExecutionStats()
+            outcomes: dict[str, int] = {}
+            variant_seen: dict[int, int] = {}
+            space = WindowedSpace(indices=tuple(steps))
+            for point, outcome in backend.iter_outcomes(
+                self.faulter, model, space, ctx, chunk_stats
+            ):
+                first = point.first_step
+                index = variant_seen.get(first, 0)
+                variant_seen[first] = index + 1
+                before = cumulative[first - 1] if first else 0
+                order = before + index
+                rows.append((
+                    order,
+                    FaultPoint(order, point.steps, point.details),
+                    outcome,
+                ))
+                outcomes[outcome] = outcomes.get(outcome, 0) + 1
+            stats.emulated_steps += chunk_stats.emulated_steps
+            stats.observe_resident(chunk_stats.peak_resident_points)
+            stats.compiled_steps += chunk_stats.compiled_steps
+            stats.divergences += chunk_stats.divergences
+            stats.compile_seconds += chunk_stats.compile_seconds
+            rollups[name] = {
+                **unit_info.get(name, {}),
+                "trace_steps": len(steps),
+                "points": sum(outcomes.values()),
+                "outcomes": outcomes,
+            }
+
+        rows.sort(key=lambda row: row[0])
+        builder = CampaignReportBuilder(
+            target=target if target is not None else self.faulter.name,
+            model=model.name,
+            trace_length=len(ctx.trace),
+            fault_for=lambda point: self._fault_for(point, ctx, model),
+            collect_outcomes=collect_outcomes,
+        )
+        for _, point, outcome in rows:
+            builder.add(point, outcome)
+        return builder.finish(
+            meta={
+                "backend": backend.name,
+                "space": f"unit-chunked[{len(chunks)}]",
+                "checkpoint_interval": _interval_meta(backend),
+                "stream": getattr(backend, "stream", False),
+                "max_resident_points": getattr(
+                    backend, "max_resident_points", None
+                ),
+                "peak_resident_points": stats.peak_resident_points,
+                "emulated_steps": stats.emulated_steps,
+                "trace_compile": getattr(
+                    backend, "trace_compile", False
+                ),
+                "compiled_steps": stats.compiled_steps,
+                "precise_steps": (
+                    stats.emulated_steps - stats.compiled_steps
+                ),
+                "compile_seconds": round(stats.compile_seconds, 6),
+                "compile_divergences": stats.divergences,
+                "reduction": {"enabled": False, "reason": "chunked"},
+                "units": rollups,
             }
         )
 

@@ -18,7 +18,7 @@ from repro.ir.passes.pass_manager import standard_cleanup
 from repro.ir.verifier import verify
 from repro.lift.lifter import Lifter
 from repro.lower.pipeline import lower_module
-from repro.provenance import ProvenanceMap
+from repro.provenance import ProvenanceMap, with_unit_rollups
 
 
 @dataclass
@@ -138,6 +138,9 @@ def hybrid_harden(exe: Executable,
     hardened, provenance = lower_module(ir_module, exe,
                                         trap_after_jmp=True,
                                         with_provenance=True)
+    _carry_dynamic(hardened, exe)
+    _carry_dynamic(lowered_plain, exe)
+    provenance = _per_unit_provenance(provenance, exe)
     _validate(hardened, exe, good_input, bad_input, grant_marker, name)
     _warn_unguarded_blocks(branch_filter)
 
@@ -233,6 +236,40 @@ def _warn_unguarded_blocks(branch_filter) -> None:
             f"faulter-flagged guest block(s) {rendered} were not "
             f"reached by branch hardening (no conditional branch, or "
             f"block not lifted)", stacklevel=2)
+
+
+def _per_unit_provenance(provenance: ProvenanceMap,
+                         exe: Executable) -> ProvenanceMap:
+    """Regroup the block-granular map along the original's units."""
+    from repro.disasm.units import recover_plan
+
+    _, plan = recover_plan(exe)
+    return with_unit_rollups(provenance, plan)
+
+
+def _carry_dynamic(hardened: Executable, original: Executable) -> None:
+    """Carry a PIE original's dynamic tables onto the lowered output.
+
+    Lowering pins data sections at their original addresses but
+    regenerates code at a new base, so only entries anchored entirely
+    in non-executable sections survive; code-anchored relocations and
+    dynamic code symbols are dropped (their layout no longer exists).
+    """
+    if not original.pie:
+        return
+    data_sections = {s.name for s in original.sections
+                     if not s.executable}
+
+    def data_anchored(reloc) -> bool:
+        if reloc.section not in data_sections:
+            return False
+        return not reloc.anchored or reloc.target_section in data_sections
+
+    hardened.pie = True
+    hardened.relocations = [r for r in original.relocations
+                            if data_anchored(r)]
+    hardened.dynamic_symbols = [s for s in original.dynamic_symbols
+                                if s.section in data_sections]
 
 
 def _validate(hardened, original, good_input, bad_input, marker, name):

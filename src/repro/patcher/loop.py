@@ -16,20 +16,24 @@ from repro.asm.assembler import assemble_with_map
 from repro.binfmt.image import Executable
 from repro.disasm.emitprog import module_to_program
 from repro.disasm.recover import disassemble
+from repro.disasm.units import build_plan
 from repro.faulter.campaign import Faulter
 from repro.faulter.report import CampaignReport
 from repro.gtirb.ir import Module
 from repro.patcher.patcher import Patcher
-from repro.provenance import KIND_DERIVED, KIND_INSN, ProvenanceMap
+from repro.provenance import (
+    KIND_DERIVED, KIND_INSN, ProvenanceMap, with_unit_rollups)
 
 
-def provenance_from_tag_map(tag_map: dict) -> ProvenanceMap:
+def provenance_from_tag_map(tag_map: dict, plan=None) -> ProvenanceMap:
     """Build the original->rewritten map from the assembler's tag map.
 
     Every ``InsnEntry`` that survived the rewrite carries its original
     decoded address; pattern-emitted entries attribute to the original
     site they protect via ``root_site()``.  Entries with no original
-    counterpart (the injected fault handler) carry no mapping.
+    counterpart (the injected fault handler) carry no mapping.  With a
+    :class:`~repro.disasm.units.RewritePlan` the map is composed from
+    per-unit maps and carries per-function rollups.
     """
     provenance = ProvenanceMap(path="patcher")
     for entry, address in tag_map.items():
@@ -38,6 +42,8 @@ def provenance_from_tag_map(tag_map: dict) -> ProvenanceMap:
             continue
         kind = KIND_INSN if entry.origin is None else KIND_DERIVED
         provenance.add(original, address, kind=kind)
+    if plan is not None:
+        provenance = with_unit_rollups(provenance, plan)
     return provenance
 
 
@@ -174,6 +180,7 @@ class FaulterPatcherLoop:
 
     def run(self) -> HardenResult:
         module = disassemble(self.original, mode=self.symbolization)
+        plan = build_plan(module)
         patcher = Patcher(module)
         exe, tag_map = self._emit(module)
         original_text_size = self.original.code_size()
@@ -204,15 +211,20 @@ class FaulterPatcherLoop:
                 break
 
             patched = residual = 0
-            for address in sorted(vulnerable):
-                entry = by_address.get(address)
-                if entry is None or entry.protected:
-                    residual += 1
+            for unit, addresses in _stream_by_unit(plan, vulnerable,
+                                                   by_address):
+                if unit is not None and unit.opaque:
+                    residual += len(addresses)  # preserved byte-for-byte
                     continue
-                if patcher.patch_entry(entry):
-                    patched += 1
-                else:
-                    residual += 1
+                for address in addresses:
+                    entry = by_address.get(address)
+                    if entry is None or entry.protected:
+                        residual += 1
+                        continue
+                    if patcher.patch_entry(entry):
+                        patched += 1
+                    else:
+                        residual += 1
             iterations.append(IterationStats(
                 iteration, len(vulnerable), patched, residual,
                 exe.code_size(), reports))
@@ -244,9 +256,33 @@ class FaulterPatcherLoop:
             original_sites=len(original_sites),
             remaining_sites=len(remaining_sites),
             emergent_points=emergent,
-            provenance=provenance_from_tag_map(tag_map),
+            provenance=provenance_from_tag_map(tag_map, plan),
         )
 
     def _emit(self, module: Module):
         program = module_to_program(module)
-        return assemble_with_map(program)
+        return assemble_with_map(program, pie=self.original.pie)
+
+
+def _stream_by_unit(plan, vulnerable, by_address):
+    """Group vulnerable (rewritten) addresses by their rewrite unit.
+
+    Attribution goes through each entry's original root site, since
+    reassembly shifts rewritten addresses; unmapped addresses (emergent
+    points in injected code) stream last under unit ``None``.
+    """
+    grouped: dict = {}
+    for address in sorted(vulnerable):
+        entry = by_address.get(address)
+        unit = None
+        if entry is not None:
+            original = entry.root_site().address
+            if original is not None:
+                unit = plan.unit_at(original)
+        grouped.setdefault(
+            None if unit is None else unit.name, (unit, []))[1].append(
+                address)
+    ordered = [u.name for u in plan.units if u.name in grouped]
+    if None in grouped:
+        ordered.append(None)
+    return [grouped[name] for name in ordered]

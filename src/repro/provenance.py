@@ -222,3 +222,74 @@ class ProvenanceMap:
                       for start, end in payload.get("identity", [])],
             meta=dict(payload.get("meta", {})),
         )
+
+
+# -- per-unit composition ---------------------------------------------------
+#
+# Every rewriting path emits one ProvenanceMap per RewriteUnit and
+# composes them through these helpers, so the final map carries a
+# per-function census in ``meta["units"]`` regardless of which path
+# produced it.
+
+UNIT_OTHER = "<other>"
+
+
+def split_by_plan(provenance: ProvenanceMap, plan) -> dict:
+    """Split ``provenance`` into per-unit maps along ``plan`` extents.
+
+    Entries are assigned by their *original* address; identity regions
+    are cut at unit boundaries.  Addresses no unit owns collect under
+    ``UNIT_OTHER``.
+    """
+    maps: dict[str, ProvenanceMap] = {}
+
+    def map_for(name: str) -> ProvenanceMap:
+        if name not in maps:
+            maps[name] = ProvenanceMap(path=provenance.path)
+        return maps[name]
+
+    for entry in provenance.entries:
+        unit = plan.unit_at(entry.original)
+        map_for(unit.name if unit else UNIT_OTHER).entries.append(entry)
+    for start, end in provenance.identity:
+        for sub_start, sub_end, unit in plan.slice(start, end):
+            map_for(unit.name if unit else UNIT_OTHER).identity.append(
+                (sub_start, sub_end))
+    return maps
+
+
+def compose_maps(unit_maps, path: str, plan=None) -> ProvenanceMap:
+    """Compose per-unit maps into one, recording per-unit rollups.
+
+    ``unit_maps`` is ``{unit_name: ProvenanceMap}``; composition order
+    follows ``plan.units`` when given (with stragglers appended), else
+    insertion order.  The result's ``meta["units"]`` holds each unit's
+    entry census.
+    """
+    ordered: list[str] = []
+    if plan is not None:
+        ordered = [u.name for u in plan.units if u.name in unit_maps]
+    ordered += [name for name in unit_maps if name not in ordered]
+
+    composed = ProvenanceMap(path=path)
+    rollup = {}
+    for name in ordered:
+        unit_map = unit_maps[name]
+        composed.entries.extend(unit_map.entries)
+        composed.identity.extend(unit_map.identity)
+        rollup[name] = unit_map.counts()
+    composed.meta["units"] = rollup
+    return composed
+
+
+def with_unit_rollups(provenance: ProvenanceMap, plan) -> ProvenanceMap:
+    """Re-express ``provenance`` as composed per-unit maps.
+
+    The entry/identity *sets* are preserved (only regrouped by unit),
+    so all address queries answer identically; the composed map gains
+    the per-unit census in ``meta["units"]``.
+    """
+    composed = compose_maps(
+        split_by_plan(provenance, plan), provenance.path, plan)
+    composed.meta = {**provenance.meta, **composed.meta}
+    return composed

@@ -1,0 +1,115 @@
+"""Per-unit chunked campaigns: bit-identity plus rollups.
+
+``CampaignEngine.run_chunked`` partitions the bad-input trace along a
+:class:`~repro.disasm.units.RewritePlan` and runs one sub-campaign per
+unit inside the backend's ``max_resident_points`` bound.  The report
+must be *bit-identical* to an unchunked exhaustive run (equality
+excludes ``meta``) — chunking is an execution strategy, never a
+result change — while ``meta["units"]`` gains per-function rollups.
+"""
+
+import pytest
+
+from repro.api import EngineConfig
+from repro.faulter.campaign import Faulter
+from repro.faulter.engine import resolve_backend
+from repro.faulter.space import ExhaustiveSpace
+from repro.workloads import bootloader, pincheck
+
+
+def faulter_and_plan(wl, name):
+    exe = wl.build()
+    oracle = wl.oracle if wl.oracle is not None else wl.grant_marker
+    faulter = Faulter(exe, wl.good_input, wl.bad_input, oracle,
+                      name=name)
+    return faulter, faulter.rewrite_plan()
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("model", ["skip", "bitflip"])
+    def test_single_function_workload(self, model):
+        faulter, plan = faulter_and_plan(pincheck.workload(), "pin")
+        engine = faulter.engine()
+        base = engine.run(model, ExhaustiveSpace(), reduce=False)
+        assert engine.run_chunked(model, plan) == base
+
+    @pytest.mark.parametrize("model", ["skip", "bitflip"])
+    def test_multi_function_workload(self, model):
+        faulter, plan = faulter_and_plan(
+            pincheck.workload(rich=True), "pin-rich")
+        assert len(plan.units) > 1
+        engine = faulter.engine()
+        base = engine.run(model, ExhaustiveSpace(), reduce=False)
+        report = engine.run_chunked(model, plan)
+        assert report == base
+        assert set(report.meta["units"]) == \
+            {u.name for u in plan.units
+             if any(plan.unit_at(a) is u for a in set(faulter.trace()))}
+
+    def test_identical_to_reduced_run(self):
+        # the default (reduced) exhaustive run already reports every
+        # point of the full space; chunked must agree with it too
+        faulter, plan = faulter_and_plan(bootloader.workload(), "boot")
+        engine = faulter.engine()
+        assert engine.run_chunked("skip", plan) == \
+            engine.run("skip", ExhaustiveSpace())
+
+    def test_bounded_resident_window(self):
+        faulter, plan = faulter_and_plan(
+            pincheck.workload(rich=True), "pin-rich")
+        engine = faulter.engine()
+        base = engine.run("skip", ExhaustiveSpace(), reduce=False)
+        backend = resolve_backend(None, max_resident_points=4)
+        report = engine.run_chunked("skip", plan, backend=backend)
+        assert report == base
+        assert report.meta["peak_resident_points"] <= 4
+
+    def test_multiprocess_backend(self):
+        faulter, plan = faulter_and_plan(pincheck.workload(), "pin")
+        engine = faulter.engine()
+        base = engine.run("skip", ExhaustiveSpace(), reduce=False)
+        backend = resolve_backend("multiprocess", workers=2)
+        assert engine.run_chunked("skip", plan, backend=backend) == base
+
+
+class TestRollups:
+    def test_rollup_shape(self):
+        faulter, plan = faulter_and_plan(
+            bootloader.workload(rich=True), "boot-rich")
+        report = faulter.run_chunked_campaign("skip")
+        units = report.meta["units"]
+        assert units
+        for rollup in units.values():
+            assert rollup["points"] == sum(rollup["outcomes"].values())
+            assert rollup["trace_steps"] > 0
+        total = sum(r["points"] for r in units.values())
+        assert total == report.total_faults
+        assert report.meta["space"].startswith("unit-chunked[")
+        assert report.meta["reduction"] == {"enabled": False,
+                                            "reason": "chunked"}
+
+    def test_rollups_cover_whole_trace(self):
+        faulter, plan = faulter_and_plan(
+            pincheck.workload(rich=True), "pin-rich")
+        report = faulter.run_chunked_campaign("skip")
+        steps = sum(r["trace_steps"]
+                    for r in report.meta["units"].values())
+        assert steps == len(faulter.trace())
+
+
+class TestConfigWiring:
+    def test_engine_config_round_trips(self):
+        config = EngineConfig(chunk_units=True)
+        assert EngineConfig.from_dict(config.to_dict()) == config
+
+    def test_chunk_units_rejects_multi_fault(self):
+        with pytest.raises(ValueError, match="single-fault"):
+            EngineConfig(chunk_units=True, k_faults=2)
+
+    def test_target_campaign_dispatch(self):
+        wl = pincheck.workload()
+        plain = wl.target().campaign(("skip",))
+        chunked = wl.target().campaign(
+            ("skip",), EngineConfig(chunk_units=True))
+        assert chunked["skip"] == plain["skip"]
+        assert "units" in chunked["skip"].meta

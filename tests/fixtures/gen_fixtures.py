@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Regenerate the committed ELF fixtures in this directory.
+
+The fixtures are PIE and stripped builds of the bundled
+secure-bootloader workload (``repro.workloads.bootloader``, 8-byte
+firmware), produced entirely by the repo's own assembler and ELF
+writer — no external toolchain is required, in CI or anywhere else::
+
+    PYTHONPATH=src python tests/fixtures/gen_fixtures.py
+
+Deterministic: the workload source, the assembler, and the writer are
+all reproducible, so regeneration is byte-identical unless one of
+them changed (in which case the new bytes are the fixture update).
+``README.md`` documents the campaign inputs each fixture expects.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent.parent / "src"))
+
+from repro.asm.assembler import assemble  # noqa: E402
+from repro.binfmt.writer import write_elf  # noqa: E402
+from repro.workloads import bootloader  # noqa: E402
+
+FIRMWARE_SIZE = 8
+
+
+def fixture_workload():
+    """The workload both fixtures are built from."""
+    return bootloader.workload(size=FIRMWARE_SIZE)
+
+
+def build_pie():
+    """ET_DYN build: dynamic symbols + RELATIVE relocations."""
+    return assemble(fixture_workload().source, pie=True)
+
+
+def build_stripped():
+    """ET_EXEC build with the symbol table dropped (as strip(1))."""
+    return assemble(fixture_workload().source).stripped()
+
+
+def main() -> int:
+    wl = fixture_workload()
+    for name, exe in (("bootloader_pie.elf", build_pie()),
+                      ("bootloader_stripped.elf", build_stripped())):
+        blob = write_elf(exe)
+        (HERE / name).write_bytes(blob)
+        print(f"{name}: {len(blob)} bytes "
+              f"(pie={exe.pie}, symbols={len(exe.symbols)}, "
+              f"dynamic={len(exe.dynamic_symbols)}, "
+              f"relocations={len(exe.relocations)})")
+    print(f"good input (hex): {wl.good_input.hex()}")
+    print(f"bad input  (hex): {wl.bad_input.hex()}")
+    print(f"marker          : {wl.grant_marker.decode()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
