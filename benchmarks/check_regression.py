@@ -14,6 +14,12 @@ workload and seed, so an increase is an algorithmic regression, not
 noise.  Fewer steps than the baseline is an improvement; the script
 reminds you to commit the regenerated JSON so the trajectory records
 it.
+
+The warm-fleet acceptance property is gated here too: whenever the
+fresh ``backends`` section carries both ``multiprocess`` and
+``multiprocess-warm`` rows, the warm row must sustain at least
+``WARM_MIN_SPEEDUP`` x the cold row's faults/s — fresh numbers on
+both sides, so the gate compares schedulers on the same machine.
 """
 
 from __future__ import annotations
@@ -21,6 +27,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+# must match benchmarks/test_engine_throughput.py::WARM_MIN_SPEEDUP
+WARM_MIN_SPEEDUP = 2.0
+
+# rows whose emulated-step count depends on work-stealing order (a
+# warm worker's retained checkpoint prefix changes how much replay a
+# stolen partition needs), so only their faults/s is gated
+NONDETERMINISTIC_STEP_ROWS = {"multiprocess-warm"}
 
 
 def _compare_rows(kind: str, baseline_rows: dict, fresh_rows: dict,
@@ -45,13 +59,30 @@ def _compare_rows(kind: str, baseline_rows: dict, fresh_rows: dict,
                     f"(threshold {100 * threshold:.0f}%)")
         old_steps = old.get("emulated_steps")
         new_steps = new.get("emulated_steps")
-        if old_steps is not None and new_steps is not None \
+        if name not in NONDETERMINISTIC_STEP_ROWS \
+                and old_steps is not None and new_steps is not None \
                 and new_steps > old_steps:
             failures.append(
                 f"{name}: emulated steps grew {old_steps} -> "
                 f"{new_steps} (deterministic metric; this is an "
                 f"algorithmic regression)")
     return failures
+
+
+def _check_warm_speedup(fresh_backends: dict) -> list[str]:
+    """Fresh-vs-fresh gate: warm fleet must beat the cold fleet."""
+    cold = fresh_backends.get("multiprocess", {}).get(
+        "faults_per_second")
+    warm = fresh_backends.get("multiprocess-warm", {}).get(
+        "faults_per_second")
+    if not cold or warm is None:
+        return []
+    if warm < WARM_MIN_SPEEDUP * cold:
+        return [
+            f"multiprocess-warm: {warm:.2f} faults/s is below "
+            f"{WARM_MIN_SPEEDUP}x the fresh cold multiprocess "
+            f"{cold:.2f} faults/s (warm-fleet acceptance gate)"]
+    return []
 
 
 def compare(baseline: dict, fresh: dict, threshold: float) -> list[str]:
@@ -61,6 +92,7 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> list[str]:
                       fresh.get("backends", {}), threshold)
         + _compare_rows("models", baseline.get("models", {}),
                         fresh.get("models", {}), threshold)
+        + _check_warm_speedup(fresh.get("backends", {}))
     )
 
 

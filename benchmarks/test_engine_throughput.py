@@ -43,13 +43,16 @@ against the committed JSON and fails on >25% throughput regression
 import json
 import pathlib
 import resource
+import shutil
+import tempfile
 import time
 
 from conftest import once
 
 from repro.binfmt.reader import read_elf
 from repro.faulter import (
-    Faulter, MultiprocessBackend, SampledSpace, SequentialBackend)
+    ArtifactStore, Faulter, MultiprocessBackend, SampledSpace,
+    SequentialBackend, shutdown_fleet)
 from repro.faulter.space import ExhaustiveSpace, ProductSpace
 from repro.workloads import bootloader
 
@@ -79,6 +82,13 @@ K2_MIN_SPEEDUP = 5.0
 PIE_GOOD = bytes.fromhex("0d141b222930373e")
 PIE_BAD = bytes.fromhex("0d141b223930373f")
 PIE_MARKER = b"BOOT OK"
+# multiprocess-warm must deliver at least this multiple of the cold
+# multiprocess row's faults/s (gated here and in check_regression.py)
+WARM_MIN_SPEEDUP = 2.0
+# the two rows under that gate are ~0.15s measurements on a shared
+# box: repeat each and keep the best pass so the gate compares
+# schedulers, not scheduler noise
+GATED_REPEATS = 3
 
 
 def _measure(faulter, backend, model="skip", samples=SAMPLES):
@@ -89,13 +99,58 @@ def _measure(faulter, backend, model="skip", samples=SAMPLES):
     return report, elapsed
 
 
+def _row(report, derive_seconds, execute_seconds):
+    """One backends-section row: wall time split derive vs execute.
+
+    *derive* is per-campaign setup (baseline validation + bad-input
+    trace recording, or their artifact-store loads); *execute* is the
+    engine run itself.  faults/s is quoted against the execute phase —
+    the quantity the scheduler and the warm cache actually scale.
+    """
+    return {
+        "wall_seconds": round(derive_seconds + execute_seconds, 4),
+        "derive_seconds": round(derive_seconds, 4),
+        "execute_seconds": round(execute_seconds, 4),
+        "faults": report.total_faults,
+        "faults_per_second": round(
+            report.total_faults / execute_seconds, 2)
+        if execute_seconds else None,
+        "emulated_steps": report.meta["emulated_steps"],
+        "compiled_steps": report.meta["compiled_steps"],
+        "precise_steps": report.meta["precise_steps"],
+        "checkpoint_interval": report.meta["checkpoint_interval"],
+        "peak_resident_points": report.meta["peak_resident_points"],
+        # ru_maxrss is a process-lifetime high-water mark (KiB on
+        # Linux): monotone across backends, but its trajectory
+        # over PRs is what the perf history tracks
+        "peak_rss_kb": resource.getrusage(
+            resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
 def test_engine_throughput(benchmark, record):
     wl = bootloader.workload(size=TRACE_SIZE)
-    faulter = Faulter(wl.build(), wl.good_input, wl.bad_input,
-                      wl.grant_marker, name=wl.name)
+    image = wl.build()
+
+    def provision(store=None):
+        """Fresh faulter + its derive-phase seconds (validation and
+        trace recording — what the artifact cache amortizes)."""
+        started = time.perf_counter()
+        faulter = Faulter(image, wl.good_input, wl.bad_input,
+                          wl.grant_marker, name=wl.name,
+                          artifacts=store)
+        faulter.trace()
+        return faulter, time.perf_counter() - started
+
+    faulter, _ = provision()
     trace_length = len(faulter.trace())
     assert trace_length >= 1000, (
         f"need a >=1k-instruction trace, got {trace_length}")
+
+    # every backend row provisions its own faulter, so the derive
+    # phase is measured per row; the multiprocess row starts from a
+    # cold fleet (spin-up included in its execute time)
+    shutdown_fleet()
 
     backends = {
         "prefix-reexec": SequentialBackend(
@@ -113,35 +168,74 @@ def test_engine_throughput(benchmark, record):
     results = {}
     reports = {}
     for name, backend in backends.items():
+        row_faulter, derive_seconds = provision()
         if name == "checkpointed":
             # the headline number goes through pytest-benchmark
             report, elapsed = once(
-                benchmark, lambda: _measure(faulter, backend))
+                benchmark, lambda: _measure(row_faulter, backend))
+        elif name == "multiprocess":
+            # gated row: best of GATED_REPEATS genuinely-cold passes
+            # (fleet torn down and the faulter re-provisioned each time)
+            report, elapsed = _measure(row_faulter, backend)
+            for _ in range(GATED_REPEATS - 1):
+                shutdown_fleet()
+                retry_faulter, retry_derive = provision()
+                retry_report, retry_elapsed = _measure(
+                    retry_faulter, backend)
+                assert retry_report == report
+                if retry_elapsed < elapsed:
+                    elapsed = retry_elapsed
+                    derive_seconds = retry_derive
+            shutdown_fleet()
         else:
-            report, elapsed = _measure(faulter, backend)
+            report, elapsed = _measure(row_faulter, backend)
         reports[name] = report
-        results[name] = {
-            "wall_seconds": round(elapsed, 4),
-            "faults": report.total_faults,
-            "faults_per_second": round(
-                report.total_faults / elapsed, 2) if elapsed else None,
-            "emulated_steps": report.meta["emulated_steps"],
-            "compiled_steps": report.meta["compiled_steps"],
-            "precise_steps": report.meta["precise_steps"],
-            "checkpoint_interval": report.meta["checkpoint_interval"],
-            "peak_resident_points": report.meta["peak_resident_points"],
-            # ru_maxrss is a process-lifetime high-water mark (KiB on
-            # Linux): monotone across backends, but its trajectory
-            # over PRs is what the perf history tracks
-            "peak_rss_kb": resource.getrusage(
-                resource.RUSAGE_SELF).ru_maxrss,
-        }
+        results[name] = _row(report, derive_seconds, elapsed)
+
+    # multiprocess-warm: same backend, but the artifact store is
+    # populated and the worker fleet already hot — one cold pass
+    # fills both, the measured pass rides them
+    cache_root = tempfile.mkdtemp(prefix="r2r-bench-cache-")
+    try:
+        warm_backend = MultiprocessBackend(
+            workers=4, checkpoint_interval=CHECKPOINT_INTERVAL)
+        cold_faulter, _ = provision(ArtifactStore(cache_root))
+        cold_report, _ = _measure(cold_faulter, warm_backend)
+        warm_faulter, warm_derive = provision(ArtifactStore(cache_root))
+        warm_report, warm_elapsed = _measure(warm_faulter, warm_backend)
+        for _ in range(GATED_REPEATS - 1):
+            repeat_faulter, repeat_derive = provision(
+                ArtifactStore(cache_root))
+            repeat_report, repeat_elapsed = _measure(
+                repeat_faulter, warm_backend)
+            assert repeat_report == warm_report
+            if repeat_elapsed < warm_elapsed:
+                warm_elapsed = repeat_elapsed
+                warm_derive = repeat_derive
+        results["multiprocess-warm"] = _row(
+            warm_report, warm_derive, warm_elapsed)
+        warm_artifacts = dict(warm_report.meta["artifacts"])
+        warm_artifacts.pop("cache_dir", None)  # tempdir path is noise
+        results["multiprocess-warm"]["artifacts"] = warm_artifacts
+    finally:
+        shutil.rmtree(cache_root, ignore_errors=True)
+        shutdown_fleet()
 
     # all backends classify the sampled space identically
     assert reports["checkpointed"] == reports["prefix-reexec"]
     assert reports["multiprocess"] == reports["prefix-reexec"]
     assert reports["trace-compiled"] == reports["prefix-reexec"]
     assert reports["precise-checkpointed"] == reports["prefix-reexec"]
+    assert cold_report == reports["prefix-reexec"]
+    assert warm_report == reports["prefix-reexec"]
+
+    # the warm fleet's acceptance property: amortized setup plus work
+    # stealing must at least double the cold multiprocess throughput
+    warm_fps = results["multiprocess-warm"]["faults_per_second"]
+    cold_fps = results["multiprocess"]["faults_per_second"]
+    assert warm_fps >= WARM_MIN_SPEEDUP * cold_fps, (
+        f"multiprocess-warm {warm_fps} f/s is below "
+        f"{WARM_MIN_SPEEDUP}x the cold multiprocess {cold_fps} f/s")
 
     # the compiled tier does the bulk of the stepping — and never
     # changes the deterministic emulated-step count

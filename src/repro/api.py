@@ -179,6 +179,23 @@ class Target:
                 name=self.name, max_steps=self.max_steps)
         return self._faulter
 
+    @staticmethod
+    def _configure_artifacts(faulter: Faulter,
+                             config: EngineConfig) -> None:
+        """Point ``faulter`` at the config's artifact store, if any.
+
+        The cached faulter survives across ``campaign``/``evaluate``
+        calls, so a store with the same root is kept (its in-memory
+        memo and stats stay warm) and only a root change swaps it.
+        """
+        store = config.artifact_store()
+        if store is None:
+            return
+        current = getattr(faulter, "artifacts", None)
+        if current is not None and current.root == store.root:
+            return
+        faulter.artifacts = store
+
     # -- the paper's three methodologies ----------------------------------
 
     def campaign(self,
@@ -197,7 +214,9 @@ class Target:
         multi-fault campaign.
         """
         config = _as_config(config)
-        return self._run_reports(self.faulter(), models, config,
+        faulter = self.faulter()
+        self._configure_artifacts(faulter, config)
+        return self._run_reports(faulter, models, config,
                                  config.resolve())
 
     @staticmethod
@@ -277,7 +296,9 @@ class Target:
         """
         config = _as_config(config)
         backend = config.resolve()
-        baseline = self._run_reports(self.faulter(), models, config,
+        faulter = self.faulter()
+        self._configure_artifacts(faulter, config)
+        baseline = self._run_reports(faulter, models, config,
                                      backend)
 
         if harden_models is None:
@@ -295,7 +316,11 @@ class Target:
         hardened_faulter = Faulter(
             result.hardened, self.good_input, self.bad_input,
             self.oracle, name=f"{self.name}-hardened",
-            max_steps=self.max_steps)
+            max_steps=self.max_steps,
+            # the hardened image has different bytes, hence different
+            # artifact keys — sharing the store is safe and lets the
+            # re-fault campaign cache its own derivations
+            artifacts=config.artifact_store())
         hardened = self._run_reports(hardened_faulter, models, config,
                                      backend)
 

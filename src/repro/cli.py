@@ -9,12 +9,14 @@ Subcommands::
                 [--evaluate [engine knobs]]
     r2r compare TARGET --approach A [--model M] [engine knobs]
     r2r demo    {pincheck,bootloader} --approach A
+    r2r cache   {info,clear} [--cache-dir DIR]
     r2r run     TARGET.elf [--stdin HEX]
     r2r disasm  TARGET.elf
 
 The engine knobs — ``--backend``, ``--checkpoint-interval``,
 ``--workers``, ``--stream/--no-stream``, ``--max-resident-points``,
-``--reduce/--no-reduce``, ``--chunk-units`` — are declared once in a
+``--reduce/--no-reduce``, ``--chunk-units``, ``--artifact-cache``,
+``--cache-dir``, ``--steal`` — are declared once in a
 shared parent parser
 and map onto one :class:`~repro.api.EngineConfig`; ``--approach``
 choices derive from the
@@ -151,6 +153,23 @@ def _engine_parent() -> argparse.ArgumentParser:
                             "its own sub-campaign within the resident "
                             "bound; the merged report is bit-identical "
                             "and carries per-function rollups")
+    group.add_argument("--artifact-cache", default=None,
+                       action=argparse.BooleanOptionalAction,
+                       help="cache derivations (trace, checkpoints, "
+                            "traceflow facts, JIT block sources) in a "
+                            "content-addressed on-disk store and load "
+                            "them on later campaigns (default: off; "
+                            "implied by --cache-dir)")
+    group.add_argument("--cache-dir", default=None,
+                       help="artifact store root (default: "
+                            "$XDG_CACHE_HOME/r2r/artifacts); naming "
+                            "one implies --artifact-cache")
+    group.add_argument("--steal", default=None,
+                       action=argparse.BooleanOptionalAction,
+                       help="multiprocess scheduling: pull partitions "
+                            "from a shared work-stealing queue "
+                            "(default: on; --no-steal dispatches in "
+                            "fixed worker-sized waves)")
     return parent
 
 
@@ -167,7 +186,10 @@ def _engine_config(args) -> EngineConfig:
         max_resident_points=args.max_resident_points,
         trace_compile=args.trace_compile,
         reduce=args.reduce,
-        chunk_units=args.chunk_units)
+        chunk_units=args.chunk_units,
+        artifact_cache=args.artifact_cache,
+        cache_dir=args.cache_dir,
+        steal=args.steal)
 
 
 def _file_target(args) -> Target:
@@ -229,6 +251,13 @@ def _cmd_fault(args) -> int:
                   f"{meta['compile_divergences']} divergences, "
                   f"compile {meta['compile_seconds']}s)")
             _print_reduction(meta)
+            artifacts = meta.get("artifacts")
+            if artifacts and artifacts.get("enabled"):
+                print(f"  artifacts: {artifacts['hits']} hit(s), "
+                      f"{artifacts['misses']} miss(es), "
+                      f"{artifacts['saves']} save(s), derive "
+                      f"{artifacts['derive_seconds']}s "
+                      f"({artifacts.get('cache_dir', '?')})")
             for name, rollup in meta.get("units", {}).items():
                 outcomes = ", ".join(
                     f"{k}={v}"
@@ -295,6 +324,23 @@ def _cmd_demo(args) -> int:
         with open(args.output, "wb") as handle:
             handle.write(hardened_elf(result))
         print(f"hardened binary written to {args.output}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.faulter.artifacts import ArtifactStore
+    store = ArtifactStore(args.cache_dir)
+    if args.action == "info":
+        census = store.info()
+        print(f"artifact store: {census['root']}")
+        print(f"  {census['entries']} entries, "
+              f"{census['bytes']} bytes")
+        for kind, row in sorted(census["kinds"].items()):
+            print(f"  {kind}: {row['entries']} entries, "
+                  f"{row['bytes']} bytes")
+        return 0
+    removed = store.clear()
+    print(f"removed {removed} artifact(s) from {store.root}")
     return 0
 
 
@@ -385,6 +431,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="use the realistically sized variant")
     demo.add_argument("-o", "--output")
     demo.set_defaults(func=_cmd_demo)
+
+    cache = sub.add_parser(
+        "cache",
+        help="inspect or clear the campaign artifact store")
+    cache.add_argument("action", choices=["info", "clear"])
+    cache.add_argument("--cache-dir", default=None,
+                       help="artifact store root (default: "
+                            "$XDG_CACHE_HOME/r2r/artifacts)")
+    cache.set_defaults(func=_cmd_cache)
 
     run = sub.add_parser("run", help="run a binary in the emulator")
     run.add_argument("target")

@@ -30,13 +30,19 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from repro.errors import EmulationError, IRError, LiftError
+from repro.errors import DecodingError, EmulationError, IRError, LiftError
+from repro.emu.flagops import PARITY_TABLE
 from repro.emu.jit.codegen import JitUnsupported, lower_superblock
 from repro.emu.jit.lift import lift_superblock
 from repro.emu.jit.superblock import carve
+from repro.isa.decoder import decode
 from repro.isa.insn import Instruction
 
 _UNCOMPILED = object()
+
+# serialized-block payload schema (see export_blocks/import_blocks);
+# bump to orphan previously serialized caches
+EXPORT_VERSION = 1
 
 
 class BlockInvalidated(Exception):
@@ -200,6 +206,82 @@ class TraceCompiler:
             executed += block.count
         self.compiled_steps += executed
         return executed
+
+    # -- serialization ------------------------------------------------
+    #
+    # ``lower_superblock`` compiles to a plain Python source string
+    # executed into a namespace, so a block cache serializes as those
+    # sources plus the instruction addresses to re-decode.  Re-loading
+    # costs one exec() per block instead of the full carve -> lift ->
+    # IR-optimize -> lower pipeline.
+
+    def export_blocks(self) -> dict:
+        """Serializable payload of every live untainted block."""
+        blocks = []
+        for start in sorted(self._blocks):
+            block = self._blocks[start]
+            if block is None or block.tainted or not block.source:
+                continue
+            blocks.append({
+                "start": block.start,
+                "limit": block.limit,
+                "count": block.count,
+                "writes_memory": block.writes_memory,
+                "source": block.source,
+                "addresses": [insn.address for insn in block.insns],
+            })
+        return {"version": EXPORT_VERSION, "blocks": blocks}
+
+    def import_blocks(self, machine, payload) -> int:
+        """Recompile serialized block sources against ``machine``.
+
+        The payload is keyed by the image digest, so the machine's
+        pristine bytes match the ones the sources were lowered from;
+        each block's instructions are nevertheless re-decoded from the
+        live memory and cross-checked against the recorded geometry —
+        any mismatch (or any error at all) skips that block and the
+        compiler derives it from scratch on demand.  Returns the
+        number of blocks imported.
+        """
+        if not isinstance(payload, dict) \
+                or payload.get("version") != EXPORT_VERSION:
+            return 0
+        imported = 0
+        for spec in payload.get("blocks", ()):
+            try:
+                start = spec["start"]
+                if start in self._blocks:
+                    continue
+                insns = []
+                for address in spec["addresses"]:
+                    raw = bytes(machine.memory.fetch(address, 15))
+                    insns.append(decode(raw, 0, address))
+                last = insns[-1]
+                if (len(insns) != spec["count"]
+                        or insns[0].address != start
+                        or last.address + last.length != spec["limit"]):
+                    continue
+                namespace: dict = {"_PT": PARITY_TABLE}
+                exec(compile(spec["source"], f"<jit:{start:#x}>",
+                             "exec"), namespace)
+                block = SuperBlock(
+                    start=start,
+                    limit=spec["limit"],
+                    count=spec["count"],
+                    step=namespace["superblock"],
+                    writes_memory=bool(spec["writes_memory"]),
+                    tainted=False,
+                    insns=tuple(insns),
+                    source=spec["source"],
+                )
+            except (KeyError, IndexError, TypeError, ValueError,
+                    SyntaxError, DecodingError, EmulationError):
+                continue
+            self._blocks[start] = block
+            for insn in block.insns:
+                self._insn_index.setdefault(insn.address, insn)
+            imported += 1
+        return imported
 
     # -- stats --------------------------------------------------------
 

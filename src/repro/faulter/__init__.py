@@ -31,6 +31,11 @@ from repro.faulter.models import (
     model_by_name,
     MODELS,
 )
+from repro.faulter.artifacts import (
+    ArtifactStats,
+    ArtifactStore,
+    default_cache_dir,
+)
 from repro.faulter.campaign import Fault, FaultOutcome, Faulter
 from repro.faulter.engine import (
     BACKENDS,
@@ -42,6 +47,7 @@ from repro.faulter.engine import (
     MultiprocessBackend,
     SequentialBackend,
     backend_by_name,
+    shutdown_fleet,
 )
 from repro.faulter.oracle import (
     AllOf,
@@ -88,6 +94,10 @@ __all__ = [
     "Fault",
     "FaultOutcome",
     "Faulter",
+    "ArtifactStats",
+    "ArtifactStore",
+    "default_cache_dir",
+    "shutdown_fleet",
     "BACKENDS",
     "DEFAULT_MAX_RESIDENT",
     "CampaignEngine",

@@ -37,9 +37,16 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.binfmt.image import Executable
+from repro.binfmt.writer import write_elf
 from repro.emu.machine import Machine, RunResult
 from repro.errors import ReproError
-from repro.faulter.engine import CampaignEngine, resolve_backend
+from repro.faulter import artifacts as artifacts_mod
+from repro.faulter.artifacts import ArtifactStore
+from repro.faulter.engine import (
+    CampaignEngine,
+    derive_trace,
+    resolve_backend,
+)
 from repro.faulter.models import FaultModel
 from repro.faulter.oracle import MarkerOracle, Oracle, coerce_oracle
 from repro.faulter.report import (
@@ -78,6 +85,7 @@ class Faulter:
         name: str = "target",
         max_steps: int = 100_000,
         baselines: Optional[tuple[RunResult, RunResult]] = None,
+        artifacts: Optional[ArtifactStore] = None,
     ):
         self.image = image
         self.good_input = good_input
@@ -94,6 +102,8 @@ class Faulter:
         self._trace: Optional[list[int]] = None
         self._engine: Optional[CampaignEngine] = None
         self._plan = None
+        self.artifacts = artifacts
+        self._image_key: Optional[str] = None
         if baselines is not None:
             # an already-validated oracle (e.g. from a probe process)
             self.good_baseline, self.bad_baseline = baselines
@@ -136,10 +146,29 @@ class Faulter:
 
     # -- campaign ---------------------------------------------------------
 
+    def image_digest(self) -> str:
+        """Content digest of the target image (computed once)."""
+        if self._image_key is None:
+            image = self.image
+            if isinstance(image, (bytes, bytearray)):
+                elf_bytes = bytes(image)
+            else:
+                elf_bytes = write_elf(image)
+            self._image_key = artifacts_mod.image_digest(elf_bytes)
+        return self._image_key
+
     def trace(self) -> list[int]:
-        """Instruction-address trace of the bad input (computed once)."""
+        """Instruction-address trace of the bad input (computed once,
+        loaded from the artifact store when one is configured)."""
         if self._trace is None:
-            self._trace = self._run(self.bad_input, record_trace=True).trace
+            self._trace = derive_trace(
+                self.image,
+                self.bad_input,
+                self.max_steps,
+                artifacts=self.artifacts,
+                image_key=(self.image_digest()
+                           if self.artifacts is not None else None),
+            )
         return self._trace
 
     def engine(self) -> CampaignEngine:

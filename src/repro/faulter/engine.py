@@ -33,30 +33,45 @@ Two execution strategies are provided:
   re-execution — the pre-engine statistical behaviour.
 
 ``MultiprocessBackend`` partitions the space declaratively and runs
-either strategy inside a process pool; each worker receives a
-:class:`~repro.faulter.space.SpacePartition` — the base space spec
-plus an enumeration-order window, O(1) bytes per worker instead of
-O(points) — re-derives the trace and context locally, and streams its
-own share.  Workers reuse the probe's validated baseline (shipped as
-the continuation cap + grant marker) instead of re-validating the
-oracle per process.
+either strategy on a persistent *warm fleet* of worker processes;
+each worker receives a :class:`~repro.faulter.space.SpacePartition` —
+the base space spec plus an enumeration-order window, O(1) bytes per
+worker instead of O(points) — derives the trace and context locally
+(or loads them from the content-addressed
+:class:`~repro.faulter.artifacts.ArtifactStore`, when one is
+configured), and streams its own share.  Workers reuse the probe's
+validated baseline (shipped as the continuation cap + grant marker)
+instead of re-validating the oracle per process, live across
+campaigns (``evaluate``/``r2r compare`` stop paying derivation
+twice), and pull partitions from a shared work-stealing queue, so a
+straggler partition no longer gates the whole wave.
 """
 
 from __future__ import annotations
 
+import atexit
 import math
 import os
-from dataclasses import dataclass
+import pickle
+from dataclasses import dataclass, field
 from multiprocessing import get_context
+from queue import Empty
 from typing import Iterator, Optional, Sequence
 
-from repro.analysis.traceflow import TraceFacts
+from repro.analysis.traceflow import TraceFacts, VariantPrune
 from repro.binfmt.reader import read_elf
 from repro.binfmt.writer import write_elf
 from repro.emu.cpu import ExitProgram, Halt
 from repro.emu.jit import TraceCompiler
-from repro.emu.machine import MAX_STEPS, CheckpointStore, Machine
+from repro.emu.machine import (
+    MAX_STEPS,
+    Checkpoint,
+    CheckpointStore,
+    Machine,
+)
 from repro.errors import DecodingError, EmulationError
+from repro.faulter import artifacts as artifacts_mod
+from repro.faulter.artifacts import ArtifactStats, ArtifactStore
 from repro.faulter.models import FaultModel, model_by_name
 from repro.faulter.reduction import plan_reduction
 from repro.faulter.report import (
@@ -101,10 +116,17 @@ class ExecutionStats:
     compiled_steps: int = 0
     divergences: int = 0
     compile_seconds: float = 0.0
+    artifact_counters: dict = field(default_factory=dict)
 
     def observe_resident(self, count: int) -> None:
         if count > self.peak_resident_points:
             self.peak_resident_points = count
+
+    def merge_artifacts(self, counters: dict) -> None:
+        """Fold a worker's artifact hit/miss delta into this stats."""
+        for key, value in counters.items():
+            self.artifact_counters[key] = (
+                self.artifact_counters.get(key, 0) + value)
 
 
 def _normalize_interval(interval: int | float | None):
@@ -139,14 +161,84 @@ def _execution_order(points: Sequence[FaultPoint]) -> list[FaultPoint]:
     return sorted(points, key=lambda p: (p.first_step, p.order))
 
 
+def _valid_trace(payload) -> bool:
+    return isinstance(payload, list) and all(
+        isinstance(address, int) for address in payload)
+
+
+def _valid_flag_states(payload) -> bool:
+    return isinstance(payload, list) and all(
+        isinstance(state, dict) for state in payload)
+
+
+def _valid_facts_payload(payload) -> bool:
+    return (isinstance(payload, dict)
+            and isinstance(payload.get("prune"), dict)
+            and isinstance(payload.get("class"), dict)
+            and all(isinstance(key, tuple)
+                    and (verdict is None
+                         or isinstance(verdict, VariantPrune))
+                    for key, verdict in payload["prune"].items())
+            and all(isinstance(key, tuple)
+                    for key in payload["class"]))
+
+
+def _valid_jit_payload(payload) -> bool:
+    return isinstance(payload, dict) and isinstance(
+        payload.get("blocks"), list)
+
+
+def _valid_checkpoint_state(state) -> bool:
+    return (isinstance(state, dict)
+            and isinstance(state.get("checkpoints"), list)
+            and len(state["checkpoints"]) > 0
+            and all(isinstance(cp, Checkpoint)
+                    for cp in state["checkpoints"])
+            and isinstance(state.get("covered"), int)
+            and state["covered"] > 0
+            and "interval" in state
+            and "frontier" in state)
+
+
+def derive_trace(
+    image,
+    bad_input: bytes,
+    max_steps: int,
+    artifacts: Optional[ArtifactStore] = None,
+    image_key: Optional[str] = None,
+) -> list[int]:
+    """Record (or load) the bad-input instruction-address trace.
+
+    The trace is a pure function of (image bytes, input, step budget),
+    so with an artifact store attached it is content-addressed under
+    :func:`~repro.faulter.artifacts.trace_key` and re-recorded only on
+    a miss.
+    """
+    def record() -> list[int]:
+        machine = Machine(image, stdin=bad_input)
+        return machine.run(max_steps=max_steps, record_trace=True).trace
+
+    if artifacts is not None and image_key is not None:
+        return list(artifacts.load_or_derive(
+            "trace",
+            artifacts_mod.trace_key(image_key, bad_input, max_steps),
+            record,
+            validate=_valid_trace,
+        ))
+    return record()
+
+
 def build_space_context(
-    image, bad_input: bytes, model: FaultModel, trace: Sequence[int]
+    image, bad_input: bytes, model: FaultModel, trace: Sequence[int],
+    artifacts: Optional[ArtifactStore] = None,
+    image_key: Optional[str] = None,
 ) -> SpaceContext:
     """Bind ``model`` to a recorded bad-input ``trace``.
 
     Shared by the engine (over the faulter's cached trace) and by pool
     workers (over a locally re-derived trace), so both enumerate the
-    exact same fault points.
+    exact same fault points.  ``artifacts``/``image_key`` optionally
+    back the traceflow flag replay with the content-addressed store.
     """
     probe = Machine(image, stdin=bad_input)
     # encoding models ignore the ISA metadata, so only the state
@@ -182,7 +274,7 @@ def build_space_context(
         except (IndexError, DecodingError, EmulationError):
             return None
 
-    def flag_replay() -> list:
+    def replay_flags() -> list:
         # pre-step ZF/CF/SF along the bad-input trace, re-derived
         # deterministically (same discipline as the trace itself)
         machine = Machine(image, stdin=bad_input)
@@ -196,13 +288,104 @@ def build_space_context(
                 break
         return states
 
+    def flag_replay() -> list:
+        if artifacts is not None and image_key is not None:
+            return list(artifacts.load_or_derive(
+                "flags",
+                artifacts_mod.flags_key(image_key, bad_input,
+                                        len(trace)),
+                replay_flags,
+                validate=_valid_flag_states,
+            ))
+        return replay_flags()
+
     def facts_factory() -> TraceFacts:
-        return TraceFacts(trace, insn_at, window_at, flag_replay)
+        facts = TraceFacts(trace, insn_at, window_at, flag_replay)
+        facts.loaded_proofs = 0
+        if artifacts is not None and image_key is not None:
+            payload = artifacts.load(
+                "facts",
+                artifacts_mod.facts_key(image_key, bad_input,
+                                        len(trace), model.name),
+                validate=_valid_facts_payload,
+            )
+            if payload is not None:
+                # the reduction hooks are deterministic, so preloaded
+                # verdicts are exactly what recomputation would yield
+                facts.prune_cache.update(payload["prune"])
+                facts.class_cache.update(payload["class"])
+                facts.loaded_proofs = (len(payload["prune"])
+                                       + len(payload["class"]))
+        return facts
 
     return SpaceContext(
         model, trace, variants_at, mnemonic_at,
         facts_factory=facts_factory,
     )
+
+
+def _persist_facts(ctx, artifacts, image_key, bad_input) -> None:
+    """Save the reduction proofs a campaign computed, if any.
+
+    Only consults facts the campaign actually materialized
+    (``ctx._facts``) — never forces the analysis — and only writes
+    when new verdicts accumulated beyond what the store supplied.
+    """
+    if artifacts is None or image_key is None:
+        return
+    facts = getattr(ctx, "_facts", None)
+    if facts is None:
+        return
+    proofs = len(facts.prune_cache) + len(facts.class_cache)
+    if proofs <= getattr(facts, "loaded_proofs", 0):
+        return
+    if artifacts.save(
+        "facts",
+        artifacts_mod.facts_key(image_key, bad_input,
+                                len(ctx.trace), ctx.model.name),
+        {"prune": dict(facts.prune_cache),
+         "class": dict(facts.class_cache)},
+    ):
+        facts.loaded_proofs = proofs
+
+
+def _executor_store(faulter):
+    """(store, image key) an executor warms from, or (None, None).
+
+    Both come from the faulter-like target: real
+    :class:`~repro.faulter.campaign.Faulter` objects and the pool's
+    :class:`_WorkerTarget` expose ``artifacts``/``image_digest()``;
+    anything else opts out.
+    """
+    store = getattr(faulter, "artifacts", None)
+    if store is None or not hasattr(faulter, "image_digest"):
+        return None, None
+    return store, faulter.image_digest()
+
+
+def _warm_jit(compiler, machine, artifacts, image_key) -> None:
+    """Import serialized superblock sources from the store, if any."""
+    if compiler is None or artifacts is None or image_key is None:
+        return
+    payload = artifacts.load("jit", artifacts_mod.jit_key(image_key),
+                             validate=_valid_jit_payload)
+    if payload is not None:
+        compiler.import_blocks(machine, payload)
+
+
+def _persist_jit(compiler, artifacts, image_key) -> None:
+    """Export the compiler's block cache if it compiled anything new.
+
+    ``compiled_blocks`` resets on a successful save, so a long-lived
+    executor (fleet workers memoize them) re-exports only after fresh
+    compilation, not once per partition.
+    """
+    if compiler is None or artifacts is None or image_key is None:
+        return
+    if compiler.compiled_blocks:
+        if artifacts.save("jit", artifacts_mod.jit_key(image_key),
+                          compiler.export_blocks()):
+            compiler.compiled_blocks = 0
 
 
 class _MasterWalkExecutor:
@@ -228,6 +411,8 @@ class _MasterWalkExecutor:
         self._machine: Optional[Machine] = None
         self._step = 0
         self._done = False
+        self._artifacts, self._image_key = _executor_store(faulter)
+        self._jit_warmed = False
 
     def _reset(self) -> None:
         self._machine = Machine(
@@ -235,8 +420,15 @@ class _MasterWalkExecutor:
         )
         if self._compiler is not None:
             self._compiler.attach(self._machine)
+            if not self._jit_warmed:
+                self._jit_warmed = True
+                _warm_jit(self._compiler, self._machine,
+                          self._artifacts, self._image_key)
         self._step = 0
         self._done = False
+
+    def finalize(self) -> None:
+        _persist_jit(self._compiler, self._artifacts, self._image_key)
 
     def run_window(
         self, points: Sequence[FaultPoint], stats: ExecutionStats
@@ -339,6 +531,44 @@ class _CheckpointReplayExecutor:
         self._store: Optional[CheckpointStore] = None
         self._covered = 0
         self._frontier = None
+        self._artifacts, self._image_key = _executor_store(faulter)
+        self._loaded_covered = 0
+        self._state_key = None
+        if self._artifacts is not None:
+            _warm_jit(self._compiler, self._machine,
+                      self._artifacts, self._image_key)
+            # the key binds the *configured* replay grid; the stored
+            # state carries the post-thinning interval it ended up with
+            self._state_key = artifacts_mod.checkpoints_key(
+                self._image_key, faulter.bad_input, self._interval,
+                self._max_span)
+            state = self._artifacts.load(
+                "checkpoints", self._state_key,
+                validate=_valid_checkpoint_state)
+            if state is not None:
+                self._checkpoints = list(state["checkpoints"])
+                self._covered = min(state["covered"], self._max_span)
+                self._frontier = state["frontier"]
+                self._interval = state["interval"]
+                self._loaded_covered = self._covered
+                self._store = CheckpointStore(self._checkpoints)
+
+    def finalize(self) -> None:
+        """Persist freshly derived artifacts back to the store."""
+        _persist_jit(self._compiler, self._artifacts, self._image_key)
+        if (self._artifacts is None or self._state_key is None
+                or not self._checkpoints
+                or self._covered <= self._loaded_covered):
+            return
+        if self._artifacts.save("checkpoints", self._state_key, {
+            "checkpoints": list(self._checkpoints),
+            "covered": self._covered,
+            "frontier": self._frontier,
+            "interval": self._interval,
+        }):
+            # a memoized executor (warm fleet) finalizes once per
+            # partition — don't re-pickle an unchanged prefix
+            self._loaded_covered = self._covered
 
     def _emit_interval(self, span: int) -> int | float:
         """Emission grid for a build out to ``span`` total steps."""
@@ -513,7 +743,27 @@ class SequentialBackend(ExecutionBackend):
             return None
         return self.max_resident_points or DEFAULT_MAX_RESIDENT
 
+    # fleet workers pin (cache dict, key prefix) here so executors —
+    # machine, checkpoint prefix, compiled blocks — survive across
+    # partitions and campaigns; None (the default) builds per campaign
+    _reuse_executors: Optional[tuple[dict, tuple]] = None
+
     def _executor(self, faulter, space: FaultSpace, ctx: SpaceContext):
+        reuse = self._reuse_executors
+        if reuse is None:
+            return self._build_executor(faulter, space, ctx)
+        cache, prefix = reuse
+        key = prefix + (space.cap_policy,)
+        executor = cache.get(key)
+        if executor is None:
+            executor = self._build_executor(faulter, space, ctx)
+            if len(cache) >= _MAX_WORKER_EXECUTORS:
+                cache.clear()
+            cache[key] = executor
+        return executor
+
+    def _build_executor(self, faulter, space: FaultSpace,
+                        ctx: SpaceContext):
         if self.checkpoint_interval:
             return _CheckpointReplayExecutor(
                 faulter,
@@ -545,6 +795,10 @@ class SequentialBackend(ExecutionBackend):
             if executor is None:
                 executor = self._executor(faulter, space, ctx)
             yield from self._drain(executor, window, stats)
+        if executor is not None:
+            # persist freshly derived artifacts (JIT block sources,
+            # checkpoint prefix) once the campaign's windows are done
+            executor.finalize()
 
     @staticmethod
     def _drain(
@@ -561,7 +815,7 @@ class SequentialBackend(ExecutionBackend):
 
 
 class _WorkerTarget:
-    """Duck-typed stand-in for a Faulter inside a pool worker.
+    """Duck-typed stand-in for a Faulter inside a fleet worker.
 
     Carries only the probe's validated baseline — the continuation cap
     and the (pickled) fault-detection oracle — so workers never re-run
@@ -575,6 +829,8 @@ class _WorkerTarget:
         oracle,
         continuation_cap: int,
         max_steps: int,
+        artifacts: Optional[ArtifactStore] = None,
+        image_key: Optional[str] = None,
     ):
         self.image = image
         self.bad_input = bad_input
@@ -582,15 +838,42 @@ class _WorkerTarget:
         self.watches = oracle.watches()
         self.continuation_cap = continuation_cap
         self.max_steps = max_steps
+        self.artifacts = artifacts
+        self._image_key = image_key
+
+    def image_digest(self) -> Optional[str]:
+        return self._image_key
 
     def classify(self, result) -> str:
         return self.oracle.classify(result)
 
 
-# Per-process memo for pool workers: re-deriving the trace and space
-# context is deterministic, so each worker process does it once per
-# (binary, input, model) and reuses it across its queue of partitions.
+# Per-process memos for fleet workers.  Deriving the trace and space
+# context is deterministic, so each persistent worker process does it
+# once per (binary, input[, model]) and reuses it across its queue of
+# partitions — and, because the fleet outlives campaigns, across
+# campaigns too.  The trace memo keeps one live target; the context
+# memo keeps one entry per fault model on top of it (bounded), so an
+# ``evaluate`` sweeping several models re-traces nothing.
+_WORKER_TRACES: dict = {}
 _WORKER_CONTEXTS: dict = {}
+_WORKER_STORES: dict = {}
+_MAX_WORKER_CONTEXTS = 8
+# executors memoized per context entry (machine + checkpoint prefix +
+# compiled blocks stay warm across partitions and campaigns)
+_MAX_WORKER_EXECUTORS = 4
+
+
+def _worker_store(cache_root: Optional[str]):
+    """Per-process ArtifactStore memo (one live root at a time)."""
+    if cache_root is None:
+        return None
+    store = _WORKER_STORES.get(cache_root)
+    if store is None:
+        store = ArtifactStore(cache_root)
+        _WORKER_STORES.clear()
+        _WORKER_STORES[cache_root] = store
+    return store
 
 
 def _worker_context(
@@ -598,32 +881,47 @@ def _worker_context(
     bad_input: bytes,
     model_name: str,
     master_max_steps: int,
+    store: Optional[ArtifactStore] = None,
 ):
     key = (elf_bytes, bad_input, model_name, master_max_steps)
     cached = _WORKER_CONTEXTS.get(key)
     if cached is None:
-        image = read_elf(elf_bytes)
+        image_key = artifacts_mod.image_digest(elf_bytes)
+        trace_key = (elf_bytes, bad_input, master_max_steps)
+        entry = _WORKER_TRACES.get(trace_key)
+        if entry is None:
+            image = read_elf(elf_bytes)
+            trace = derive_trace(
+                image, bad_input, master_max_steps,
+                artifacts=store, image_key=image_key,
+            )
+            _WORKER_TRACES.clear()  # one live target per process
+            _WORKER_TRACES[trace_key] = (image, trace)
+        else:
+            image, trace = entry
         model = model_by_name(model_name)
-        tracer = Machine(image, stdin=bad_input)
-        probe_run = tracer.run(
-            max_steps=master_max_steps, record_trace=True
-        )
         ctx = build_space_context(
-            image, bad_input, model, probe_run.trace
+            image, bad_input, model, trace,
+            artifacts=store, image_key=image_key,
         )
-        cached = (image, model, ctx)
-        _WORKER_CONTEXTS.clear()  # one live target per worker process
+        # the trailing dict memoizes executors *for this context*; its
+        # lifetime is tied to the entry, so an evicted context can
+        # never alias a stale executor
+        cached = (image, model, ctx, image_key, {})
+        if len(_WORKER_CONTEXTS) >= _MAX_WORKER_CONTEXTS:
+            _WORKER_CONTEXTS.clear()
         _WORKER_CONTEXTS[key] = cached
     return cached
 
 
 def _worker(job):
-    """Pool worker: stream one declarative partition of the space.
+    """Fleet worker: stream one declarative partition of the space.
 
     The job carries a :class:`~repro.faulter.space.SpacePartition`
-    spec, not a point list — the worker re-records the bad-input trace
-    (deterministic, so identical to the probe's) and re-enumerates its
-    own window locally.
+    spec, not a point list — the worker derives the bad-input trace
+    (deterministic, so identical to the probe's; loaded from the
+    artifact store when one is configured) and re-enumerates its own
+    window locally.
     """
     (
         elf_bytes,
@@ -637,9 +935,12 @@ def _worker(job):
         stream,
         max_resident_points,
         trace_compile,
+        cache_root,
     ) = job
-    image, model, ctx = _worker_context(
-        elf_bytes, bad_input, model_name, master_max_steps
+    store = _worker_store(cache_root)
+    before = store.stats.snapshot() if store is not None else None
+    image, model, ctx, image_key, executors = _worker_context(
+        elf_bytes, bad_input, model_name, master_max_steps, store=store
     )
     target = _WorkerTarget(
         image,
@@ -647,6 +948,8 @@ def _worker(job):
         oracle,
         continuation_cap,
         master_max_steps,
+        artifacts=store,
+        image_key=image_key,
     )
     backend = SequentialBackend(
         checkpoint_interval=checkpoint_interval,
@@ -654,10 +957,25 @@ def _worker(job):
         max_resident_points=max_resident_points,
         trace_compile=trace_compile,
     )
+    # reuse this context's executor across partitions and campaigns —
+    # the machine, checkpoint prefix and compiled blocks stay warm in
+    # the persistent worker.  The key pins every knob the executor
+    # bakes in; the pickled oracle keeps two different detectors on
+    # the same target from ever sharing one (a mismatch only costs a
+    # rebuild).
+    backend._reuse_executors = (executors, (
+        backend.checkpoint_interval,
+        stream,
+        max_resident_points,
+        trace_compile,
+        continuation_cap,
+        pickle.dumps(oracle),
+    ))
     stats = ExecutionStats()
     outcomes = list(
         backend.iter_outcomes(target, model, partition, ctx, stats)
     )
+    counters = store.stats.delta(before) if store is not None else None
     return (
         outcomes,
         stats.emulated_steps,
@@ -665,26 +983,187 @@ def _worker(job):
         stats.compiled_steps,
         stats.divergences,
         stats.compile_seconds,
+        counters,
     )
 
 
 def default_workers() -> int:
-    """Pool size when the caller does not pick one: 2..8 by core count."""
+    """Fleet size when the caller does not pick one: 2..8 by core count."""
     return max(2, min(8, os.cpu_count() or 2))
 
 
+def _picklable_error(exc: BaseException) -> BaseException:
+    """``exc`` if it survives a pickle roundtrip, else a summary.
+
+    Worker exceptions travel back over a queue; an unpicklable one
+    would otherwise die in the queue's feeder thread and strand the
+    parent waiting for a result that never arrives.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _fleet_main(tasks, results) -> None:
+    """Fleet worker loop: pull jobs until the ``None`` sentinel.
+
+    One crashed job never kills the worker — the exception ships back
+    tagged with the job id and the loop keeps serving.
+    """
+    while True:
+        item = tasks.get()
+        if item is None:
+            return
+        tag, job = item
+        try:
+            results.put((tag, "ok", _worker(job)))
+        except BaseException as exc:  # noqa: BLE001 — relayed, not hidden
+            results.put((tag, "err", _picklable_error(exc)))
+
+
+class _WorkerFleet:
+    """A persistent fleet of campaign workers around one task queue.
+
+    The shared task queue *is* the work-stealing scheduler: idle
+    workers pull the next partition the moment they finish one, so a
+    straggler partition (dense fault window, crash-heavy region)
+    delays only its own worker, never a wave barrier.  Workers are
+    daemonic and live until :func:`shutdown_fleet` (registered via
+    ``atexit``) or a size change — their per-process memos
+    (trace/context/artifact store) are what make the fleet *warm*
+    across campaigns.
+    """
+
+    # poll interval while waiting on results; each timeout re-checks
+    # worker liveness so a killed worker surfaces as an error, not a
+    # hang
+    _POLL_SECONDS = 1.0
+
+    def __init__(self, size: int):
+        self.size = size
+        context = (get_context("fork") if hasattr(os, "fork")
+                   else get_context("spawn"))
+        self._tasks = context.Queue()
+        self._results = context.Queue()
+        self._epoch = 0
+        self._processes = []
+        for _ in range(size):
+            process = context.Process(
+                target=_fleet_main,
+                args=(self._tasks, self._results),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+
+    def alive(self) -> bool:
+        return all(p.is_alive() for p in self._processes)
+
+    def pids(self) -> list[int]:
+        return [p.pid for p in self._processes]
+
+    def new_epoch(self) -> int:
+        """Start a new campaign generation; stale results are dropped.
+
+        An abandoned outcome generator leaves submitted jobs in
+        flight; tagging every job with its epoch lets the next
+        campaign discard those leftovers instead of mistaking them for
+        its own shards.
+        """
+        self._epoch += 1
+        return self._epoch
+
+    def submit(self, epoch: int, index: int, job) -> None:
+        self._tasks.put(((epoch, index), job))
+
+    def recv(self, epoch: int) -> tuple[int, tuple]:
+        """Next ``(partition index, shard)`` belonging to ``epoch``."""
+        while True:
+            try:
+                tag, status, payload = self._results.get(
+                    timeout=self._POLL_SECONDS)
+            except Empty:
+                if not self.alive():
+                    self.shutdown()
+                    raise RuntimeError(
+                        "campaign worker died unexpectedly; "
+                        "fleet torn down") from None
+                continue
+            if tag[0] != epoch:
+                continue
+            if status == "err":
+                raise payload
+            return tag[1], payload
+
+    def shutdown(self) -> None:
+        for _ in self._processes:
+            try:
+                self._tasks.put(None)
+            except Exception:
+                break
+        for process in self._processes:
+            process.join(timeout=2.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        for q in (self._tasks, self._results):
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:
+                pass
+        self._processes = []
+
+
+_FLEET: Optional[_WorkerFleet] = None
+
+
+def _acquire_fleet(size: int) -> _WorkerFleet:
+    """The shared fleet, (re)built on first use, size change or death."""
+    global _FLEET
+    fleet = _FLEET
+    if fleet is not None and (fleet.size != size or not fleet.alive()):
+        fleet.shutdown()
+        fleet = None
+    if fleet is None:
+        fleet = _WorkerFleet(size)
+        _FLEET = fleet
+    return fleet
+
+
+def shutdown_fleet() -> None:
+    """Tear down the persistent worker fleet (idempotent)."""
+    global _FLEET
+    if _FLEET is not None:
+        _FLEET.shutdown()
+        _FLEET = None
+
+
+atexit.register(shutdown_fleet)
+
+
 class MultiprocessBackend(ExecutionBackend):
-    """Partition the space across a process pool (the paper's fork).
+    """Partition the space across the warm worker fleet.
 
     Partitions are contiguous enumeration-order windows shipped as
     declarative sub-specs (O(1) bytes per job).  When streaming, each
-    partition is additionally capped at ``max_resident_points``, and
-    partitions are dispatched in waves of ``workers`` jobs: every
-    process (and the returning shard) holds at most one reorder
-    window's worth of points, so aggregate residency is
-    O(workers x window) instead of O(population).  Each worker
-    process re-derives the trace/context once and reuses it across
-    its queue of partitions.
+    partition is additionally capped at ``max_resident_points``.  With
+    ``steal=True`` (the default) partitions go onto the fleet's shared
+    pull queue — idle workers steal the next one as they finish, with
+    at most ``2 x workers`` jobs outstanding, and the parent reorders
+    returning shards back to partition order — so aggregate residency
+    stays O(workers x window) while stragglers stop gating wall-clock.
+    ``steal=False`` keeps the legacy wave dispatch (one fleet-sized
+    batch at a time, a barrier between batches) as the differential
+    scheduling baseline.
+
+    Fleet workers persist across campaigns: each derives the
+    trace/context once per target (or loads it from the artifact
+    store, when the faulter carries one) and reuses it for every
+    partition — and for every later campaign against the same target.
     """
 
     name = "multiprocess"
@@ -696,6 +1175,7 @@ class MultiprocessBackend(ExecutionBackend):
         stream: bool = True,
         max_resident_points: int | None = None,
         trace_compile: bool = True,
+        steal: bool = True,
     ):
         self.workers = workers
         self.checkpoint_interval = _normalize_interval(checkpoint_interval)
@@ -703,12 +1183,18 @@ class MultiprocessBackend(ExecutionBackend):
         self.stream = stream
         self.max_resident_points = max_resident_points
         self.trace_compile = trace_compile
+        self.steal = steal
 
     def _partition_count(self, total: int, workers: int) -> int:
-        """Enough partitions for the pool, capped at the window size."""
+        """Enough partitions for the fleet, capped at the window size."""
         parts = workers
         if self.stream:
             window = self.max_resident_points or DEFAULT_MAX_RESIDENT
+            if self.steal:
+                # The steal scheduler keeps up to 2 x workers shards in
+                # flight or parked in the reorder buffer; shrink each
+                # partition so their sum still honours the window.
+                window = max(1, window // (workers * 2))
             parts = max(parts, math.ceil(total / window))
         return parts
 
@@ -736,6 +1222,8 @@ class MultiprocessBackend(ExecutionBackend):
             elf_bytes = bytes(image)
         else:
             elf_bytes = write_elf(image)
+        store = getattr(faulter, "artifacts", None)
+        cache_root = str(store.root) if store is not None else None
         jobs = [
             (
                 elf_bytes,
@@ -749,35 +1237,73 @@ class MultiprocessBackend(ExecutionBackend):
                 self.stream,
                 self.max_resident_points,
                 self.trace_compile,
+                cache_root,
             )
             for partition in partitions
         ]
-        if hasattr(os, "fork"):
-            context = get_context("fork")
-        else:
-            context = get_context("spawn")
         pool_size = min(workers, len(jobs))
-        with context.Pool(processes=pool_size) as pool:
-            # wave scheduling: map() one pool-sized batch at a time, so
-            # the parent never buffers more than `workers` shards (each
-            # at most one reorder window) while keeping partition order
-            for start in range(0, len(jobs), pool_size):
-                wave = jobs[start:start + pool_size]
-                for (
-                    outcomes,
-                    steps,
-                    peak,
-                    compiled,
-                    divergences,
-                    compile_seconds,
-                ) in pool.map(_worker, wave):
-                    stats.emulated_steps += steps
-                    stats.observe_resident(peak)
-                    stats.observe_resident(len(outcomes))
-                    stats.compiled_steps += compiled
-                    stats.divergences += divergences
-                    stats.compile_seconds += compile_seconds
-                    yield from outcomes
+        fleet = _acquire_fleet(pool_size)
+        epoch = fleet.new_epoch()
+        if self.steal:
+            yield from self._iter_stealing(fleet, epoch, jobs,
+                                           pool_size, stats)
+        else:
+            yield from self._iter_waves(fleet, epoch, jobs,
+                                        pool_size, stats)
+
+    def _iter_stealing(self, fleet, epoch, jobs, pool_size, stats):
+        """Shared pull queue, bounded look-ahead, in-order folding."""
+        outstanding_cap = pool_size * 2
+        buffered: dict[int, tuple] = {}
+        submitted = 0
+        next_emit = 0
+        while next_emit < len(jobs):
+            while (submitted < len(jobs)
+                   and submitted - next_emit < outstanding_cap):
+                fleet.submit(epoch, submitted, jobs[submitted])
+                submitted += 1
+            index, shard = fleet.recv(epoch)
+            buffered[index] = shard
+            while next_emit in buffered:
+                yield from self._fold(buffered.pop(next_emit), stats)
+                next_emit += 1
+            if buffered:
+                stats.observe_resident(sum(
+                    len(shard[0]) for shard in buffered.values()))
+
+    def _iter_waves(self, fleet, epoch, jobs, pool_size, stats):
+        """Legacy wave dispatch: a barrier between fleet-sized batches."""
+        for start in range(0, len(jobs), pool_size):
+            wave = jobs[start:start + pool_size]
+            for offset, job in enumerate(wave):
+                fleet.submit(epoch, start + offset, job)
+            shards: dict[int, tuple] = {}
+            for _ in wave:
+                index, shard = fleet.recv(epoch)
+                shards[index] = shard
+            for index in sorted(shards):
+                yield from self._fold(shards[index], stats)
+
+    @staticmethod
+    def _fold(shard, stats) -> list[PointOutcome]:
+        (
+            outcomes,
+            steps,
+            peak,
+            compiled,
+            divergences,
+            compile_seconds,
+            counters,
+        ) = shard
+        stats.emulated_steps += steps
+        stats.observe_resident(peak)
+        stats.observe_resident(len(outcomes))
+        stats.compiled_steps += compiled
+        stats.divergences += divergences
+        stats.compile_seconds += compile_seconds
+        if counters:
+            stats.merge_artifacts(counters)
+        return outcomes
 
 
 BACKENDS = {
@@ -807,12 +1333,13 @@ def resolve_backend(
     stream: bool | None = None,
     max_resident_points: int | None = None,
     trace_compile: bool | None = None,
+    steal: bool | None = None,
 ) -> ExecutionBackend:
     """Coerce ``None``/name/instance into an ExecutionBackend.
 
     Conflicting knobs are an error, not a silent drop: ``workers``
-    requires a multiprocess backend, and an already-constructed
-    backend instance owns its own configuration.
+    and ``steal`` require a multiprocess backend, and an
+    already-constructed backend instance owns its own configuration.
     """
     checkpoint_interval = _normalize_interval(checkpoint_interval)
     streaming_kwargs: dict = {}
@@ -822,12 +1349,14 @@ def resolve_backend(
         streaming_kwargs["max_resident_points"] = max_resident_points
     if trace_compile is not None:
         streaming_kwargs["trace_compile"] = trace_compile
+    steal_kwargs: dict = {} if steal is None else {"steal": steal}
     if backend is None:
-        if workers is not None:
+        if workers is not None or steal is not None:
             return MultiprocessBackend(
                 workers=workers,
                 checkpoint_interval=checkpoint_interval,
                 **streaming_kwargs,
+                **steal_kwargs,
             )
         return SequentialBackend(
             checkpoint_interval=checkpoint_interval, **streaming_kwargs
@@ -840,11 +1369,18 @@ def resolve_backend(
         kwargs.update(streaming_kwargs)
         if factory is MultiprocessBackend:
             kwargs["workers"] = workers
-        elif workers is not None:
-            raise ValueError(
-                "workers= only applies to the multiprocess backend, "
-                f"not {backend!r}"
-            )
+            kwargs.update(steal_kwargs)
+        else:
+            if workers is not None:
+                raise ValueError(
+                    "workers= only applies to the multiprocess "
+                    f"backend, not {backend!r}"
+                )
+            if steal is not None:
+                raise ValueError(
+                    "steal= only applies to the multiprocess "
+                    f"backend, not {backend!r}"
+                )
         return factory(**kwargs)
     conflicts = (
         ("checkpoint_interval", checkpoint_interval),
@@ -852,6 +1388,7 @@ def resolve_backend(
         ("stream", stream),
         ("max_resident_points", max_resident_points),
         ("trace_compile", trace_compile),
+        ("steal", steal),
     )
     for knob, value in conflicts:
         if value is None:
@@ -894,6 +1431,9 @@ class EngineConfig:
     trace_compile: Optional[bool] = None
     reduce: Optional[bool] = None
     chunk_units: Optional[bool] = None
+    artifact_cache: Optional[bool] = None
+    cache_dir: Optional[str] = None
+    steal: Optional[bool] = None
 
     def __post_init__(self):
         backend = self.backend
@@ -950,6 +1490,29 @@ class EngineConfig:
             raise ValueError(
                 "chunk_units= applies to single-fault campaigns only "
                 f"(got k_faults={self.k_faults})")
+        if self.artifact_cache is not None and not isinstance(
+                self.artifact_cache, bool):
+            raise ValueError(
+                "artifact_cache must be True, False or None, got "
+                f"{self.artifact_cache!r}")
+        if self.cache_dir is not None and not isinstance(
+                self.cache_dir, (str, os.PathLike)):
+            raise ValueError(
+                f"cache_dir must be a path, got {self.cache_dir!r}")
+        if self.artifact_cache is False and self.cache_dir is not None:
+            raise ValueError(
+                "cache_dir= conflicts with artifact_cache=False")
+        if self.steal is not None:
+            if not isinstance(self.steal, bool):
+                raise ValueError(
+                    "steal must be True, False or None, got "
+                    f"{self.steal!r}")
+            if (isinstance(self.backend, str)
+                    and BACKENDS[self.backend]
+                    is not MultiprocessBackend):
+                raise ValueError(
+                    "steal= only applies to the multiprocess "
+                    f"backend, not {self.backend!r}")
 
     def resolve(self) -> ExecutionBackend:
         """Concrete backend for this configuration."""
@@ -960,7 +1523,21 @@ class EngineConfig:
             stream=self.stream,
             max_resident_points=self.max_resident_points,
             trace_compile=self.trace_compile,
+            steal=self.steal,
         )
+
+    def artifact_store(self) -> Optional[ArtifactStore]:
+        """The configured :class:`ArtifactStore`, or ``None`` (off).
+
+        The cache is opt-in: ``artifact_cache=True`` enables it at the
+        default (``XDG_CACHE_HOME``-honoring) root, and naming a
+        ``cache_dir`` implies enabling it there.
+        """
+        enabled = self.artifact_cache is True or (
+            self.artifact_cache is None and self.cache_dir is not None)
+        if not enabled:
+            return None
+        return ArtifactStore(self.cache_dir)
 
     def to_dict(self) -> dict:
         if self.backend is not None and not isinstance(self.backend,
@@ -983,6 +1560,10 @@ class EngineConfig:
             "trace_compile": self.trace_compile,
             "reduce": self.reduce,
             "chunk_units": self.chunk_units,
+            "artifact_cache": self.artifact_cache,
+            "cache_dir": (str(self.cache_dir)
+                          if self.cache_dir is not None else None),
+            "steal": self.steal,
         }
 
     @classmethod
@@ -1002,6 +1583,9 @@ class EngineConfig:
             trace_compile=payload.get("trace_compile"),
             reduce=payload.get("reduce"),
             chunk_units=payload.get("chunk_units"),
+            artifact_cache=payload.get("artifact_cache"),
+            cache_dir=payload.get("cache_dir"),
+            steal=payload.get("steal"),
         )
 
 
@@ -1019,11 +1603,17 @@ class CampaignEngine:
         cached = self._contexts.get(model.name)
         if cached is not None:
             return cached
+        store = getattr(self.faulter, "artifacts", None)
+        image_key = None
+        if store is not None and hasattr(self.faulter, "image_digest"):
+            image_key = self.faulter.image_digest()
         ctx = build_space_context(
             self.faulter.image,
             self.faulter.bad_input,
             model,
             self.faulter.trace(),
+            artifacts=store,
+            image_key=image_key,
         )
         self._contexts[model.name] = ctx
         return ctx
@@ -1050,6 +1640,10 @@ class CampaignEngine:
         """
         if isinstance(model, str):
             model = model_by_name(model)
+        store = getattr(self.faulter, "artifacts", None)
+        # snapshot before context/trace derivation so their hits and
+        # misses land in this report's counters too
+        before = store.stats.snapshot() if store is not None else None
         ctx = self.context(model)
         backend = resolve_backend(backend)
         plan = None
@@ -1086,8 +1680,17 @@ class CampaignEngine:
             )
             for point, outcome in plan.expand(executed):
                 builder.add(point, outcome)
+            # plan.expand pulls exactly one outcome per survivor, which
+            # leaves the backend generator one step short of exhaustion
+            # — drive it to the end so post-loop cleanup (artifact
+            # persistence) runs
+            for _ in executed:
+                pass
             plan.merge_stats(stats)
             reduction_meta = plan.certificate().to_dict()
+        if store is not None and hasattr(self.faulter, "image_digest"):
+            _persist_facts(ctx, store, self.faulter.image_digest(),
+                           self.faulter.bad_input)
         return builder.finish(
             meta={
                 "backend": backend.name,
@@ -1109,6 +1712,7 @@ class CampaignEngine:
                 "compile_seconds": round(stats.compile_seconds, 6),
                 "compile_divergences": stats.divergences,
                 "reduction": reduction_meta,
+                "artifacts": _artifacts_meta(store, before, stats),
             }
         )
 
@@ -1138,6 +1742,8 @@ class CampaignEngine:
         """
         if isinstance(model, str):
             model = model_by_name(model)
+        store = getattr(self.faulter, "artifacts", None)
+        before = store.stats.snapshot() if store is not None else None
         ctx = self.context(model)
         backend = resolve_backend(backend)
 
@@ -1171,8 +1777,8 @@ class CampaignEngine:
                 first = point.first_step
                 index = variant_seen.get(first, 0)
                 variant_seen[first] = index + 1
-                before = cumulative[first - 1] if first else 0
-                order = before + index
+                prior = cumulative[first - 1] if first else 0
+                order = prior + index
                 rows.append((
                     order,
                     FaultPoint(order, point.steps, point.details),
@@ -1184,6 +1790,7 @@ class CampaignEngine:
             stats.compiled_steps += chunk_stats.compiled_steps
             stats.divergences += chunk_stats.divergences
             stats.compile_seconds += chunk_stats.compile_seconds
+            stats.merge_artifacts(chunk_stats.artifact_counters)
             rollups[name] = {
                 **unit_info.get(name, {}),
                 "trace_steps": len(steps),
@@ -1201,6 +1808,9 @@ class CampaignEngine:
         )
         for _, point, outcome in rows:
             builder.add(point, outcome)
+        if store is not None and hasattr(self.faulter, "image_digest"):
+            _persist_facts(ctx, store, self.faulter.image_digest(),
+                           self.faulter.bad_input)
         return builder.finish(
             meta={
                 "backend": backend.name,
@@ -1222,6 +1832,7 @@ class CampaignEngine:
                 "compile_seconds": round(stats.compile_seconds, 6),
                 "compile_divergences": stats.divergences,
                 "reduction": {"enabled": False, "reason": "chunked"},
+                "artifacts": _artifacts_meta(store, before, stats),
                 "units": rollups,
             }
         )
@@ -1245,6 +1856,35 @@ class CampaignEngine:
             ctx.mnemonic(first),
             detail,
         )
+
+
+def _artifacts_meta(store, before, stats) -> dict:
+    """Report-meta rollup of cache activity for one campaign.
+
+    Merges the parent store's delta since ``before`` (trace/flags
+    derivation in :meth:`CampaignEngine.context`, sequential-executor
+    loads) with the per-worker counters the multiprocess backend folds
+    into ``stats``.  Lives in ``meta`` (``compare=False``), so counter
+    differences never break report bit-identity.
+    """
+    counters = dict(stats.artifact_counters)
+    if store is None and not counters:
+        return {"enabled": False}
+    merged = ArtifactStats()
+    if store is not None and before is not None:
+        merged.merge(store.stats.delta(before))
+    if counters:
+        merged.merge(counters)
+    meta = {
+        "enabled": True,
+        "hits": merged.hits,
+        "misses": merged.misses,
+        "saves": merged.saves,
+        "derive_seconds": round(merged.derive_seconds, 6),
+    }
+    if store is not None:
+        meta["cache_dir"] = str(store.root)
+    return meta
 
 
 def _interval_meta(backend):
